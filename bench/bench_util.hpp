@@ -1,0 +1,31 @@
+// Shared helpers for the figure-regeneration benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "perf/harness.hpp"
+
+namespace dgiwarp::bench {
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("=== %s ===\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("all numbers are virtual time on the calibrated cost model "
+              "(see DESIGN.md)\n\n");
+}
+
+inline double pct_improvement(double better, double worse) {
+  if (worse <= 0.0) return 0.0;
+  return (worse - better) / worse * 100.0;
+}
+
+inline double pct_higher(double a, double b) {
+  if (b <= 0.0) return 0.0;
+  return (a - b) / b * 100.0;
+}
+
+}  // namespace dgiwarp::bench

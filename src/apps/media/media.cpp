@@ -1,0 +1,211 @@
+#include "apps/media/media.hpp"
+
+#include "common/log.hpp"
+
+namespace dgiwarp::media {
+
+namespace {
+
+constexpr const char* kJoin = "JOIN";
+constexpr const char* kHttpRequest = "GET /stream HTTP/1.0\r\n\r\n";
+constexpr const char* kHttpResponse =
+    "HTTP/1.0 200 OK\r\nContent-Type: application/octet-stream\r\n\r\n";
+
+void build_frame(Bytes& buf, u32 seq, std::size_t frame_bytes) {
+  buf.clear();
+  WireWriter w(buf);
+  w.u32be(seq);
+  w.u32be(static_cast<u32>(frame_bytes - kFrameHeaderBytes));
+  buf.resize(frame_bytes);
+  fill_pattern(ByteSpan{buf}.subspan(kFrameHeaderBytes), seq);
+}
+
+}  // namespace
+
+MediaServer::MediaServer(isock::ISockStack& io, StreamParams params)
+    : io_(io), params_(params) {}
+
+Status MediaServer::serve_udp(u16 port, std::size_t total_bytes) {
+  auto fd = io_.socket(isock::SockType::kDatagram);
+  if (!fd.ok()) return fd.status();
+  if (Status st = io_.bind(*fd, port); !st.ok()) return st;
+  io_.set_datagram_handler(*fd, [this, fd = *fd, total_bytes](
+                                    Endpoint src, ConstByteSpan data) {
+    if (data.size() == 4 && std::memcmp(data.data(), kJoin, 4) == 0)
+      stream_udp_frames(fd, src, total_bytes);
+  });
+  return Status::Ok();
+}
+
+void MediaServer::stream_udp_frames(int fd, Endpoint client,
+                                    std::size_t total_bytes) {
+  auto& sim = io_.device().host().sim();
+  const double rate =
+      params_.burst_start ? params_.burst_rate_bps : params_.bitrate_bps;
+  const TimeNs frame_interval = static_cast<TimeNs>(
+      static_cast<double>(params_.frame_bytes) * 8.0 / rate * 1e9);
+
+  auto tick = std::make_shared<std::function<void(std::size_t)>>();
+  *tick = [this, fd, client, frame_interval, tick](std::size_t remaining) {
+    if (remaining == 0) return;
+    build_frame(frame_buf_, next_seq_++, params_.frame_bytes);
+    (void)io_.sendto(fd, client, ConstByteSpan{frame_buf_});
+    ++frames_sent_;
+    const std::size_t next =
+        remaining > params_.frame_bytes ? remaining - params_.frame_bytes : 0;
+    io_.device().host().sim().after(frame_interval,
+                                    [tick, next] { (*tick)(next); });
+  };
+  sim.after(0, [tick, total_bytes] { (*tick)(total_bytes); });
+}
+
+Status MediaServer::serve_http(u16 port, std::size_t total_bytes) {
+  auto lfd = io_.socket(isock::SockType::kStream);
+  if (!lfd.ok()) return lfd.status();
+  if (Status st = io_.bind(*lfd, port); !st.ok()) return st;
+  return io_.listen(*lfd, [this, total_bytes](int fd) {
+    io_.set_stream_handler(fd, [this, fd, total_bytes](ConstByteSpan data) {
+      if (http_pending_request_.size() > 4096) return;  // runaway guard
+      http_pending_request_.append(reinterpret_cast<const char*>(data.data()),
+                                   data.size());
+      if (http_pending_request_.find("\r\n\r\n") == std::string::npos) return;
+      http_pending_request_.clear();
+      const std::string hdr = kHttpResponse;
+      (void)io_.send(fd, ConstByteSpan{
+                             reinterpret_cast<const u8*>(hdr.data()),
+                             hdr.size()});
+      stream_http_body(fd, total_bytes);
+    });
+  });
+}
+
+void MediaServer::stream_http_body(int fd, std::size_t total_bytes) {
+  auto& sim = io_.device().host().sim();
+  const TimeNs frame_interval = static_cast<TimeNs>(
+      static_cast<double>(params_.frame_bytes) * 8.0 / params_.bitrate_bps *
+      1e9);
+
+  if (params_.burst_start) {
+    // Send as fast as the socket accepts; retry on backpressure.
+    auto pump = std::make_shared<std::function<void(std::size_t)>>();
+    *pump = [this, fd, pump](std::size_t remaining) {
+      while (remaining > 0) {
+        build_frame(frame_buf_, next_seq_++, params_.frame_bytes);
+        const std::size_t n = io_.send(fd, ConstByteSpan{frame_buf_});
+        if (n == 0) {
+          --next_seq_;  // frame not accepted; resend the same one later
+          io_.device().host().sim().after(
+              50 * kMicrosecond, [pump, remaining] { (*pump)(remaining); });
+          return;
+        }
+        ++frames_sent_;
+        remaining -= std::min(remaining, params_.frame_bytes);
+      }
+    };
+    sim.after(0, [pump, total_bytes] { (*pump)(total_bytes); });
+    return;
+  }
+
+  // Live pacing through the HTTP mux buffer: frames accumulate and flush
+  // in http_mux_chunk units (the server-side chunking VLC's HTTP output
+  // exhibits), at the media bitrate.
+  auto mux = std::make_shared<Bytes>();
+  auto tick = std::make_shared<std::function<void(std::size_t)>>();
+  *tick = [this, fd, mux, frame_interval, tick](std::size_t remaining) {
+    if (remaining == 0) {
+      if (!mux->empty()) (void)io_.send(fd, ConstByteSpan{*mux});
+      return;
+    }
+    build_frame(frame_buf_, next_seq_++, params_.frame_bytes);
+    mux->insert(mux->end(), frame_buf_.begin(), frame_buf_.end());
+    ++frames_sent_;
+    if (mux->size() >= params_.http_mux_chunk) {
+      (void)io_.send(fd, ConstByteSpan{*mux});
+      mux->clear();
+    }
+    const std::size_t next =
+        remaining > params_.frame_bytes ? remaining - params_.frame_bytes : 0;
+    io_.device().host().sim().after(frame_interval,
+                                    [tick, next] { (*tick)(next); });
+  };
+  sim.after(0, [tick, total_bytes] { (*tick)(total_bytes); });
+}
+
+ClientResult MediaClient::run_udp(Endpoint server, std::size_t prebuffer,
+                                  TimeNs deadline) {
+  ClientResult res;
+  auto fd = io_.socket(isock::SockType::kDatagram);
+  if (!fd.ok()) return res;
+  if (!io_.bind(*fd, 0).ok()) return res;
+
+  u32 expected_seq = 0;
+  io_.set_datagram_handler(*fd, [&](Endpoint, ConstByteSpan data) {
+    if (data.size() < kFrameHeaderBytes) return;
+    WireReader r(data);
+    const u32 seq = r.u32be();
+    r.u32be();
+    if (expected_seq != 0 && seq > expected_seq + 1)
+      res.sequence_gaps += seq - expected_seq - 1;
+    expected_seq = std::max(expected_seq, seq);
+    ++res.frames;
+    res.bytes_received += data.size();
+  });
+
+  auto& sim = io_.device().host().sim();
+  const TimeNs t0 = sim.now();
+  const Bytes join = bytes_of(kJoin);
+  if (!io_.sendto(*fd, server, ConstByteSpan{join}).ok()) return res;
+
+  res.completed = sim.run_while_pending(
+      [&] { return res.bytes_received >= prebuffer; }, t0 + deadline);
+  res.buffering_time = sim.now() - t0;
+  (void)io_.close(*fd);
+  return res;
+}
+
+ClientResult MediaClient::run_http(Endpoint server, std::size_t prebuffer,
+                                   TimeNs deadline) {
+  ClientResult res;
+  auto fd = io_.socket(isock::SockType::kStream);
+  if (!fd.ok()) return res;
+
+  bool headers_done = false;
+  std::string header_buf;
+  io_.set_stream_handler(*fd, [&](ConstByteSpan data) {
+    std::size_t body_at = 0;
+    if (!headers_done) {
+      header_buf.append(reinterpret_cast<const char*>(data.data()),
+                        data.size());
+      const auto pos = header_buf.find("\r\n\r\n");
+      if (pos == std::string::npos) return;
+      headers_done = true;
+      const std::size_t header_total = pos + 4;
+      const std::size_t consumed_before =
+          header_buf.size() - data.size();
+      body_at = header_total > consumed_before ? header_total - consumed_before
+                                               : 0;
+    }
+    if (body_at < data.size()) {
+      res.bytes_received += data.size() - body_at;
+      res.frames = res.bytes_received / 1316;
+    }
+  });
+
+  auto& sim = io_.device().host().sim();
+  const TimeNs t0 = sim.now();
+  (void)io_.connect(*fd, server, [this, fd = *fd](Status st) {
+    if (!st.ok()) return;
+    const std::string req = kHttpRequest;
+    (void)io_.send(fd, ConstByteSpan{
+                           reinterpret_cast<const u8*>(req.data()),
+                           req.size()});
+  });
+
+  res.completed = sim.run_while_pending(
+      [&] { return res.bytes_received >= prebuffer; }, t0 + deadline);
+  res.buffering_time = sim.now() - t0;
+  (void)io_.close(*fd);
+  return res;
+}
+
+}  // namespace dgiwarp::media

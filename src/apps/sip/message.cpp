@@ -1,0 +1,179 @@
+#include "apps/sip/message.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dgiwarp::sip {
+
+namespace {
+const std::string kEmpty;
+const char* kVersion = "SIP/2.0";
+}  // namespace
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kInvite: return "INVITE";
+    case Method::kAck: return "ACK";
+    case Method::kBye: return "BYE";
+    case Method::kRegister: return "REGISTER";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kResponse: return "<response>";
+  }
+  return "?";
+}
+
+Result<Method> parse_method(const std::string& token) {
+  if (token == "INVITE") return Method::kInvite;
+  if (token == "ACK") return Method::kAck;
+  if (token == "BYE") return Method::kBye;
+  if (token == "REGISTER") return Method::kRegister;
+  if (token == "OPTIONS") return Method::kOptions;
+  return Status(Errc::kProtocolError, "unknown SIP method: " + token);
+}
+
+const std::string& SipMessage::header(const std::string& name) const {
+  for (const auto& [k, v] : headers)
+    if (k == name) return v;
+  return kEmpty;
+}
+
+void SipMessage::set_header(const std::string& name, std::string value) {
+  for (auto& [k, v] : headers) {
+    if (k == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(name, std::move(value));
+}
+
+Bytes SipMessage::serialize() const {
+  std::string out;
+  out.reserve(512 + body.size());
+  if (is_request()) {
+    out += method_name(method);
+    out += ' ';
+    out += request_uri;
+    out += ' ';
+    out += kVersion;
+  } else {
+    out += kVersion;
+    out += ' ';
+    out += std::to_string(status_code);
+    out += ' ';
+    out += reason;
+  }
+  out += "\r\n";
+  for (const auto& [k, v] : headers) {
+    if (k == "Content-Length") continue;  // regenerated below
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return Bytes(out.begin(), out.end());
+}
+
+Result<SipMessage> SipMessage::parse(ConstByteSpan wire) {
+  const std::string text(wire.begin(), wire.end());
+  const auto head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos)
+    return Status(Errc::kProtocolError, "SIP message missing header end");
+
+  SipMessage msg;
+  std::size_t pos = 0;
+  auto next_line = [&](std::string& line) {
+    const auto eol = text.find("\r\n", pos);
+    if (eol == std::string::npos || pos > head_end) return false;
+    line = text.substr(pos, eol - pos);
+    pos = eol + 2;
+    return true;
+  };
+
+  std::string start;
+  if (!next_line(start) || start.empty())
+    return Status(Errc::kProtocolError, "missing SIP start line");
+
+  if (start.rfind(kVersion, 0) == 0) {
+    msg.method = Method::kResponse;
+    int code = 0;
+    char reason[128] = {0};
+    if (std::sscanf(start.c_str(), "SIP/2.0 %d %127[^\r\n]", &code, reason) < 1)
+      return Status(Errc::kProtocolError, "bad SIP status line");
+    msg.status_code = code;
+    msg.reason = reason;
+  } else {
+    const auto sp1 = start.find(' ');
+    const auto sp2 = start.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos)
+      return Status(Errc::kProtocolError, "bad SIP request line");
+    auto m = parse_method(start.substr(0, sp1));
+    if (!m.ok()) return m.status();
+    msg.method = *m;
+    msg.request_uri = start.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+
+  std::string line;
+  while (next_line(line) && !line.empty()) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos)
+      return Status(Errc::kProtocolError, "bad SIP header line");
+    std::string name = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    msg.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  const std::string& cl = msg.header("Content-Length");
+  const std::size_t body_at = head_end + 4;
+  std::size_t body_len = text.size() - body_at;
+  if (!cl.empty()) body_len = std::min<std::size_t>(body_len, std::stoul(cl));
+  msg.body = text.substr(body_at, body_len);
+  return msg;
+}
+
+SipMessage make_request(Method m, const std::string& from_user,
+                        const std::string& to_user, const std::string& call_id,
+                        u32 cseq_num) {
+  SipMessage msg;
+  msg.method = m;
+  msg.request_uri = "sip:" + to_user + "@dgiwarp.test";
+  msg.set_header("Via", "SIP/2.0/UDP client.dgiwarp.test;branch=z9hG4bK-" +
+                            call_id);
+  msg.set_header("Max-Forwards", "70");
+  msg.set_header("From", "<sip:" + from_user + "@dgiwarp.test>;tag=" +
+                             from_user);
+  msg.set_header("To", "<sip:" + to_user + "@dgiwarp.test>");
+  msg.set_header("Call-ID", call_id);
+  msg.set_header("CSeq", std::to_string(cseq_num) + " " +
+                             std::string(method_name(m)));
+  msg.set_header("Contact", "<sip:" + from_user + "@client.dgiwarp.test>");
+  if (m == Method::kInvite) {
+    msg.set_header("Content-Type", "application/sdp");
+    msg.body =
+        "v=0\r\no=- 0 0 IN IP4 client.dgiwarp.test\r\ns=call\r\n"
+        "c=IN IP4 client.dgiwarp.test\r\nt=0 0\r\n"
+        "m=audio 49170 RTP/AVP 0\r\na=rtpmap:0 PCMU/8000\r\n";
+  }
+  return msg;
+}
+
+SipMessage make_response(const SipMessage& req, int code,
+                         const std::string& reason) {
+  SipMessage rsp;
+  rsp.method = Method::kResponse;
+  rsp.status_code = code;
+  rsp.reason = reason;
+  for (const char* h : {"Via", "From", "Call-ID", "CSeq"})
+    rsp.set_header(h, req.header(h));
+  std::string to = req.header("To");
+  if (code >= 200 && to.find(";tag=") == std::string::npos)
+    to += ";tag=uas-" + req.call_id();
+  rsp.set_header("To", to);
+  rsp.set_header("Contact", "<sip:server.dgiwarp.test>");
+  return rsp;
+}
+
+}  // namespace dgiwarp::sip

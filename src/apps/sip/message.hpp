@@ -1,0 +1,53 @@
+// Minimal SIP message model (RFC 3261 subset) sufficient for the SipStone
+// style INVITE / 200 / ACK / BYE workload the paper drives with SIPp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+
+namespace dgiwarp::sip {
+
+enum class Method { kInvite, kAck, kBye, kRegister, kOptions, kResponse };
+
+const char* method_name(Method m);
+Result<Method> parse_method(const std::string& token);
+
+struct SipMessage {
+  // Request fields (method != kResponse) or response fields.
+  Method method = Method::kInvite;
+  std::string request_uri;   // requests
+  int status_code = 0;       // responses
+  std::string reason;        // responses
+
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First matching header value ("" if absent). Case-sensitive names; the
+  /// workload generates canonical capitalisation.
+  const std::string& header(const std::string& name) const;
+  void set_header(const std::string& name, std::string value);
+
+  std::string call_id() const { return header("Call-ID"); }
+  std::string cseq() const { return header("CSeq"); }
+
+  bool is_request() const { return method != Method::kResponse; }
+
+  /// Serialize to the on-wire text form (adds Content-Length).
+  Bytes serialize() const;
+  static Result<SipMessage> parse(ConstByteSpan wire);
+};
+
+/// Build a canonical request with the standard header set (Via, From, To,
+/// Call-ID, CSeq, Contact, Max-Forwards).
+SipMessage make_request(Method m, const std::string& from_user,
+                        const std::string& to_user, const std::string& call_id,
+                        u32 cseq_num);
+
+/// Build a response to `req` with the dialog headers mirrored.
+SipMessage make_response(const SipMessage& req, int code,
+                         const std::string& reason);
+
+}  // namespace dgiwarp::sip

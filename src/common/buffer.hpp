@@ -1,0 +1,210 @@
+// Byte buffers, scatter/gather views and big-endian wire (de)serialization.
+//
+// The software iWARP stack of the paper "takes advantage of I/O vectors to
+// minimize data copying"; GatherList/ScatterList are the equivalents here.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace dgiwarp {
+
+using Bytes = std::vector<u8>;
+using ByteSpan = std::span<u8>;
+using ConstByteSpan = std::span<const u8>;
+
+/// A gather list: ordered non-owning views of source data to transmit.
+class GatherList {
+ public:
+  GatherList() = default;
+  explicit GatherList(ConstByteSpan one) { add(one); }
+
+  void add(ConstByteSpan s) {
+    if (s.empty()) return;
+    segs_.push_back(s);
+    total_ += s.size();
+  }
+
+  std::size_t total_size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  const std::vector<ConstByteSpan>& segments() const { return segs_; }
+
+  /// Copy `len` bytes starting at logical offset `off` into `dst`.
+  /// Returns bytes actually copied (clamped at the gather list's end).
+  std::size_t copy_out(std::size_t off, ByteSpan dst) const {
+    std::size_t copied = 0;
+    std::size_t pos = 0;
+    for (const auto& s : segs_) {
+      if (copied == dst.size()) break;
+      const std::size_t seg_end = pos + s.size();
+      if (seg_end > off) {
+        const std::size_t start = off > pos ? off - pos : 0;
+        const std::size_t n =
+            std::min(s.size() - start, dst.size() - copied);
+        std::memcpy(dst.data() + copied, s.data() + start, n);
+        copied += n;
+        off += n;
+      }
+      pos = seg_end;
+    }
+    return copied;
+  }
+
+  /// Flatten the whole gather list into a single owned buffer.
+  Bytes flatten() const {
+    Bytes out(total_);
+    copy_out(0, ByteSpan{out});
+    return out;
+  }
+
+ private:
+  std::vector<ConstByteSpan> segs_;
+  std::size_t total_ = 0;
+};
+
+/// A scatter list: ordered non-owning views of sink buffers to receive into.
+class ScatterList {
+ public:
+  ScatterList() = default;
+  explicit ScatterList(ByteSpan one) { add(one); }
+
+  void add(ByteSpan s) {
+    if (s.empty()) return;
+    segs_.push_back(s);
+    total_ += s.size();
+  }
+
+  std::size_t total_size() const { return total_; }
+  const std::vector<ByteSpan>& segments() const { return segs_; }
+
+  /// Copy `src` into the scatter list starting at logical offset `off`.
+  /// Returns bytes actually placed (clamped at the scatter list's end).
+  std::size_t copy_in(std::size_t off, ConstByteSpan src) const {
+    std::size_t copied = 0;
+    std::size_t pos = 0;
+    for (const auto& s : segs_) {
+      if (copied == src.size()) break;
+      const std::size_t seg_end = pos + s.size();
+      if (seg_end > off) {
+        const std::size_t start = off > pos ? off - pos : 0;
+        const std::size_t n =
+            std::min(s.size() - start, src.size() - copied);
+        std::memcpy(s.data() + start, src.data() + copied, n);
+        copied += n;
+        off += n;
+      }
+      pos = seg_end;
+    }
+    return copied;
+  }
+
+ private:
+  std::vector<ByteSpan> segs_;
+  std::size_t total_ = 0;
+};
+
+/// Appends big-endian fields to an owned byte vector (network byte order,
+/// as all iWARP wire headers are defined big-endian).
+class WireWriter {
+ public:
+  explicit WireWriter(Bytes& out) : out_(out) {}
+
+  void u8be(u8 v) { out_.push_back(v); }
+  void u16be(u16 v) {
+    out_.push_back(static_cast<dgiwarp::u8>(v >> 8));
+    out_.push_back(static_cast<dgiwarp::u8>(v));
+  }
+  void u32be(u32 v) {
+    for (int s = 24; s >= 0; s -= 8)
+      out_.push_back(static_cast<dgiwarp::u8>(v >> s));
+  }
+  void u64be(u64 v) {
+    for (int s = 56; s >= 0; s -= 8)
+      out_.push_back(static_cast<dgiwarp::u8>(v >> s));
+  }
+  void bytes(ConstByteSpan s) { out_.insert(out_.end(), s.begin(), s.end()); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Reads big-endian fields from a byte span; underflow is a checked error.
+class WireReader {
+ public:
+  explicit WireReader(ConstByteSpan in) : in_(in) {}
+
+  std::size_t remaining() const { return in_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool ok() const { return ok_; }
+
+  u8 u8be() { return take(1) ? in_[pos_ - 1] : 0; }
+  u16 u16be() {
+    if (!take(2)) return 0;
+    return static_cast<u16>((u16{in_[pos_ - 2]} << 8) | in_[pos_ - 1]);
+  }
+  u32 u32be() {
+    if (!take(4)) return 0;
+    u32 v = 0;
+    for (std::size_t i = pos_ - 4; i < pos_; ++i) v = (v << 8) | in_[i];
+    return v;
+  }
+  u64 u64be() {
+    if (!take(8)) return 0;
+    u64 v = 0;
+    for (std::size_t i = pos_ - 8; i < pos_; ++i) v = (v << 8) | in_[i];
+    return v;
+  }
+  ConstByteSpan bytes(std::size_t n) {
+    if (!take(n)) return {};
+    return in_.subspan(pos_ - n, n);
+  }
+  ConstByteSpan rest() {
+    auto r = in_.subspan(pos_);
+    pos_ = in_.size();
+    return r;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  ConstByteSpan in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Convenience: make an owned buffer from a string literal (tests).
+inline Bytes bytes_of(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Deterministic pattern fill used by tests to detect misplacement.
+inline void fill_pattern(ByteSpan dst, u32 seed) {
+  u32 x = seed * 2654435761u + 1u;
+  for (auto& b : dst) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    b = static_cast<u8>(x);
+  }
+}
+
+inline Bytes make_pattern(std::size_t n, u32 seed) {
+  Bytes b(n);
+  fill_pattern(ByteSpan{b}, seed);
+  return b;
+}
+
+}  // namespace dgiwarp

@@ -1,0 +1,64 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace dgiwarp {
+
+namespace {
+
+// Slice-by-8 tables for the reflected IEEE polynomial 0xEDB88320.
+struct Tables {
+  std::array<std::array<u32, 256>, 8> t;
+  Tables() {
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+u32 crc_update(u32 crc, const u8* p, std::size_t n) {
+  const auto& t = tables().t;
+  while (n >= 8) {
+    const u32 lo = crc ^ (u32{p[0]} | (u32{p[1]} << 8) | (u32{p[2]} << 16) |
+                          (u32{p[3]} << 24));
+    const u32 hi =
+        u32{p[4]} | (u32{p[5]} << 8) | (u32{p[6]} << 16) | (u32{p[7]} << 24);
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  return crc;
+}
+
+}  // namespace
+
+u32 crc32_ieee(ConstByteSpan data) {
+  return ~crc_update(0xFFFFFFFFu, data.data(), data.size());
+}
+
+void Crc32::update(ConstByteSpan data) {
+  state_ = crc_update(state_, data.data(), data.size());
+}
+
+void Crc32::update(const GatherList& gl) {
+  for (const auto& s : gl.segments()) update(s);
+}
+
+}  // namespace dgiwarp

@@ -1,0 +1,51 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace dgiwarp::logging {
+
+namespace {
+
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("DGI_LOG")) return parse_level(env);
+  return LogLevel::kWarn;
+}();
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel level() { return g_level; }
+void set_level(LogLevel lvl) { g_level = lvl; }
+
+LogLevel parse_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+void vlog(LogLevel lvl, const char* tag, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] %s: ", level_name(lvl), tag);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace dgiwarp::logging

@@ -1,0 +1,29 @@
+#include "common/memledger.hpp"
+
+#include <cstdio>
+
+namespace dgiwarp {
+
+void MemLedger::add(const std::string& category, i64 bytes) {
+  by_cat_[category] += bytes;
+}
+
+i64 MemLedger::total() const {
+  i64 sum = 0;
+  for (const auto& [_, v] : by_cat_) sum += v;
+  return sum;
+}
+
+i64 MemLedger::category(const std::string& name) const {
+  auto it = by_cat_.find(name);
+  return it == by_cat_.end() ? 0 : it->second;
+}
+
+void MemLedger::dump(const std::string& title) const {
+  std::printf("%s (total %lld bytes)\n", title.c_str(),
+              static_cast<long long>(total()));
+  for (const auto& [k, v] : by_cat_)
+    std::printf("  %-28s %12lld\n", k.c_str(), static_cast<long long>(v));
+}
+
+}  // namespace dgiwarp

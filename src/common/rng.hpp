@@ -1,0 +1,59 @@
+// Deterministic, seedable RNG (xoshiro256**). Every stochastic element of
+// the simulator (loss, jitter, workloads) draws from an explicitly seeded
+// Rng so experiments are bit-reproducible.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace dgiwarp {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    u64 x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 below(u64 bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4];
+};
+
+}  // namespace dgiwarp

@@ -1,0 +1,116 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.hpp"
+
+namespace dgiwarp {
+
+const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "OK";
+    case Errc::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Errc::kNotFound: return "NOT_FOUND";
+    case Errc::kOutOfRange: return "OUT_OF_RANGE";
+    case Errc::kAccessDenied: return "ACCESS_DENIED";
+    case Errc::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Errc::kTimedOut: return "TIMED_OUT";
+    case Errc::kConnectionReset: return "CONNECTION_RESET";
+    case Errc::kMessageDropped: return "MESSAGE_DROPPED";
+    case Errc::kCrcError: return "CRC_ERROR";
+    case Errc::kProtocolError: return "PROTOCOL_ERROR";
+    case Errc::kUnsupported: return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs_) sum += x;
+  return sum / static_cast<double>(xs_.size());
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.size() && i < w.size(); ++i)
+      w[i] = std::max(w[i], r[i].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < w.size(); ++i)
+      std::printf("%-*s  ", static_cast<int>(w[i]), cells[i].c_str());
+    std::printf("\n");
+  };
+  line(headers_);
+  std::size_t total = headers_.size() - 1;
+  for (auto x : w) total += x + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& r : rows_) line(r);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_size(std::size_t bytes) {
+  char buf[64];
+  if (bytes >= MiB && bytes % MiB == 0) {
+    std::snprintf(buf, sizeof buf, "%zuM", bytes / MiB);
+  } else if (bytes >= KiB && bytes % KiB == 0) {
+    std::snprintf(buf, sizeof buf, "%zuK", bytes / KiB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu", bytes);
+  }
+  return buf;
+}
+
+std::vector<std::size_t> size_sweep(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> out;
+  for (std::size_t s = lo; s <= hi; s *= 2) out.push_back(s);
+  return out;
+}
+
+}  // namespace dgiwarp

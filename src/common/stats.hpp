@@ -1,0 +1,62 @@
+// Statistics accumulators and a fixed-width table printer used by the
+// benchmark harness to report each figure's series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dgiwarp {
+
+/// Streaming mean / min / max / stddev (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Sample store supporting exact percentiles (used for latency series).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double percentile(double p) const;  // p in [0,100]
+  double median() const { return percentile(50.0); }
+  double mean() const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Pretty-prints aligned columns; every bench binary uses this so the
+/// regenerated tables share one format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_size(std::size_t bytes);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Standard message-size sweep used by Figures 5-8: powers of two from
+/// `lo` to `hi` inclusive.
+std::vector<std::size_t> size_sweep(std::size_t lo, std::size_t hi);
+
+}  // namespace dgiwarp

@@ -1,0 +1,97 @@
+// Lightweight status / result types (no exceptions on data paths).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dgiwarp {
+
+/// Error category for stack operations. Mirrors the error surfacing rules of
+/// the paper: datagram QPs *report* loss-related errors without tearing the
+/// QP down, so errors must be first-class values rather than exceptions.
+enum class Errc {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,         // e.g. tagged placement outside a registered region
+  kAccessDenied,       // STag permission violation
+  kResourceExhausted,  // queue full, buffer pool empty
+  kTimedOut,           // CQ poll timeout, reassembly timeout
+  kConnectionReset,    // stream LLP failure (RC only)
+  kMessageDropped,     // datagram loss detected (UD only, non-fatal)
+  kCrcError,           // DDP CRC32 validation failure
+  kProtocolError,      // malformed header, bad opcode, bad state
+  kUnsupported,
+};
+
+/// Human-readable name of an error code.
+const char* errc_name(Errc e);
+
+/// A status is an error code plus optional context message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(Errc::kOk) {}
+  explicit Status(Errc code) : code_(code) {}
+  Status(Errc code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status{}; }
+
+  bool ok() const { return code_ == Errc::kOk; }
+  Errc code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string to_string() const {
+    std::string s = errc_name(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Errc code_;
+  std::string msg_;
+};
+
+/// Result<T>: either a value or a Status describing why there is none.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                  // NOLINT
+  Result(Status status) : v_(std::move(status)) {}           // NOLINT
+  Result(Errc code, std::string msg = {})                    // NOLINT
+      : v_(Status(code, std::move(msg))) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+  Errc code() const { return status().code(); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace dgiwarp

@@ -1,0 +1,40 @@
+// Fundamental scalar types and virtual-time units used across dgiwarp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dgiwarp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Virtual time in nanoseconds. All simulation clocks, costs and latencies
+/// are expressed in this unit; it is never wall-clock time.
+using TimeNs = i64;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+/// Kibi/mebi helpers for message-size sweeps.
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * 1024;
+
+/// Convert a virtual duration to floating-point microseconds/milliseconds.
+constexpr double to_us(TimeNs t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(TimeNs t) { return static_cast<double>(t) / 1e6; }
+
+/// Bytes-per-second rate from bytes moved over a virtual duration.
+constexpr double rate_MBps(std::size_t bytes, TimeNs elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return (static_cast<double>(bytes) / 1e6) /
+         (static_cast<double>(elapsed) / 1e9);
+}
+
+}  // namespace dgiwarp

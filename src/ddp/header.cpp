@@ -1,0 +1,73 @@
+#include "ddp/header.hpp"
+
+#include "common/crc32.hpp"
+
+namespace dgiwarp::ddp {
+
+void SegmentHeader::serialize(Bytes& out) const {
+  WireWriter w(out);
+  w.u8be(control);
+  w.u8be(queue);
+  w.u16be(0);  // reserved
+  w.u32be(stag);
+  w.u64be(to);
+  w.u32be(msn);
+  w.u32be(mo);
+  w.u32be(msg_len);
+  w.u32be(src_qpn);
+}
+
+Result<SegmentHeader> SegmentHeader::parse(WireReader& r) {
+  SegmentHeader h;
+  h.control = r.u8be();
+  h.queue = r.u8be();
+  r.u16be();
+  h.stag = r.u32be();
+  h.to = r.u64be();
+  h.msn = r.u32be();
+  h.mo = r.u32be();
+  h.msg_len = r.u32be();
+  h.src_qpn = r.u32be();
+  if (!r.ok()) return Status(Errc::kProtocolError, "short DDP header");
+  return h;
+}
+
+Bytes build_segment(const SegmentHeader& h, ConstByteSpan payload,
+                    bool with_crc) {
+  Bytes out;
+  out.reserve(kHeaderBytes + payload.size() + (with_crc ? kCrcBytes : 0));
+  h.serialize(out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  if (with_crc) {
+    const u32 crc = crc32_ieee(ConstByteSpan{out});
+    WireWriter w(out);
+    w.u32be(crc);
+  }
+  return out;
+}
+
+Result<ParsedSegment> parse_segment(ConstByteSpan wire, bool with_crc) {
+  const std::size_t trailer = with_crc ? kCrcBytes : 0;
+  if (wire.size() < kHeaderBytes + trailer)
+    return Status(Errc::kProtocolError, "DDP segment too short");
+
+  if (with_crc) {
+    const std::size_t body = wire.size() - kCrcBytes;
+    const u32 want = crc32_ieee(wire.subspan(0, body));
+    const ConstByteSpan cb = wire.subspan(body, 4);
+    const u32 got =
+        (u32{cb[0]} << 24) | (u32{cb[1]} << 16) | (u32{cb[2]} << 8) | cb[3];
+    if (want != got)
+      return Status(Errc::kCrcError, "DDP segment CRC mismatch");
+  }
+
+  WireReader r(wire);
+  auto hr = SegmentHeader::parse(r);
+  if (!hr.ok()) return hr.status();
+  ParsedSegment p;
+  p.header = *hr;
+  p.payload = wire.subspan(kHeaderBytes, wire.size() - kHeaderBytes - trailer);
+  return p;
+}
+
+}  // namespace dgiwarp::ddp

@@ -1,0 +1,22 @@
+#include "ddp/placement.hpp"
+
+#include <cstring>
+
+namespace dgiwarp::ddp {
+
+Result<Placement> place_tagged(const StagTable& table, u32 stag, u64 to,
+                               ConstByteSpan payload) {
+  auto target = table.check(stag, to, payload.size(), kRemoteWrite);
+  if (!target.ok()) return target.status();
+  std::memcpy(target->data(), payload.data(), payload.size());
+  return Placement{stag, to, payload.size()};
+}
+
+Result<ConstByteSpan> read_tagged(const StagTable& table, u32 stag, u64 to,
+                                  std::size_t len) {
+  auto src = table.check(stag, to, len, kRemoteRead);
+  if (!src.ok()) return src.status();
+  return ConstByteSpan{src->data(), src->size()};
+}
+
+}  // namespace dgiwarp::ddp

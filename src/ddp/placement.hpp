@@ -1,0 +1,26 @@
+// Tagged placement engine: writes a DDP segment payload directly into a
+// registered memory region after validating the STag, bounds and access
+// rights ("data to be written ... are accompanied by an offset value and a
+// length, in order to be properly placed", paper §II).
+#pragma once
+
+#include "ddp/stag.hpp"
+
+namespace dgiwarp::ddp {
+
+struct Placement {
+  u32 stag = 0;
+  u64 to = 0;        // target offset within the region
+  std::size_t len = 0;
+};
+
+/// Validate and place `payload` at (stag, to). Returns what was placed.
+Result<Placement> place_tagged(const StagTable& table, u32 stag, u64 to,
+                               ConstByteSpan payload);
+
+/// Validate and read `len` bytes from (stag, to) — the responder half of
+/// RDMA Read. Returns a view into the registered region.
+Result<ConstByteSpan> read_tagged(const StagTable& table, u32 stag, u64 to,
+                                  std::size_t len);
+
+}  // namespace dgiwarp::ddp

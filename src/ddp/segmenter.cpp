@@ -1,0 +1,25 @@
+#include "ddp/segmenter.hpp"
+
+namespace dgiwarp::ddp {
+
+std::vector<SegmentPlan> plan_segments(std::size_t msg_len,
+                                       std::size_t max_payload) {
+  std::vector<SegmentPlan> plan;
+  if (msg_len == 0) {
+    plan.push_back(SegmentPlan{0, 0, true});
+    return plan;
+  }
+  std::size_t off = 0;
+  while (off < msg_len) {
+    const std::size_t n = std::min(max_payload, msg_len - off);
+    plan.push_back(SegmentPlan{off, n, off + n == msg_len});
+    off += n;
+  }
+  return plan;
+}
+
+std::size_t ud_max_segment_payload(std::size_t max_udp_payload) {
+  return max_udp_payload - kHeaderBytes - kCrcBytes;
+}
+
+}  // namespace dgiwarp::ddp

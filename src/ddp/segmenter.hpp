@@ -1,0 +1,35 @@
+// Message segmentation policies.
+//
+// RC path: an RDMAP message is cut into DDP segments of at most MULPDU
+// bytes (what MPA can frame within one TCP MSS).
+//
+// UD path (paper §IV.B): a message up to 64 KB travels as ONE DDP segment
+// in ONE UDP datagram (the kernel IP layer fragments it to the wire MTU and
+// reassembles all-or-nothing). Messages larger than 64 KB are segmented by
+// the iWARP stack into 64 KB-datagram segments, each independently placed
+// at the target ("Segments (64K) are placed in memory as they arrive").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ddp/header.hpp"
+
+namespace dgiwarp::ddp {
+
+struct SegmentPlan {
+  std::size_t offset = 0;  // byte offset of this segment in the message
+  std::size_t length = 0;
+  bool last = false;
+};
+
+/// Split a `msg_len`-byte message into segments of at most `max_payload`.
+/// A zero-length message still produces one (empty, last) segment.
+std::vector<SegmentPlan> plan_segments(std::size_t msg_len,
+                                       std::size_t max_payload);
+
+/// Maximum DDP payload per UD datagram: 64 KB UDP payload minus the DDP
+/// header and CRC.
+std::size_t ud_max_segment_payload(std::size_t max_udp_payload);
+
+}  // namespace dgiwarp::ddp

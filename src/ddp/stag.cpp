@@ -1,0 +1,33 @@
+#include "ddp/stag.hpp"
+
+namespace dgiwarp::ddp {
+
+MemoryRegionInfo StagTable::register_region(ByteSpan region, u32 access) {
+  MemoryRegionInfo info;
+  info.stag = next_stag_++;
+  info.region = region;
+  info.access = access;
+  regions_.emplace(info.stag, info);
+  return info;
+}
+
+Status StagTable::invalidate(u32 stag) {
+  if (regions_.erase(stag) == 0)
+    return Status(Errc::kNotFound, "unknown STag");
+  return Status::Ok();
+}
+
+Result<ByteSpan> StagTable::check(u32 stag, u64 to, std::size_t len,
+                                  u32 need) const {
+  auto it = regions_.find(stag);
+  if (it == regions_.end())
+    return Status(Errc::kAccessDenied, "STag not registered");
+  const MemoryRegionInfo& r = it->second;
+  if ((r.access & need) != need)
+    return Status(Errc::kAccessDenied, "insufficient STag access rights");
+  if (to + len > r.region.size())
+    return Status(Errc::kOutOfRange, "tagged access outside region");
+  return r.region.subspan(static_cast<std::size_t>(to), len);
+}
+
+}  // namespace dgiwarp::ddp

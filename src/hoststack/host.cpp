@@ -1,0 +1,16 @@
+#include "hoststack/host.hpp"
+
+namespace dgiwarp::host {
+
+Host::Host(sim::Fabric& fabric, const std::string& name, CostModel costs)
+    : costs_(costs),
+      index_(fabric.add_host(name)),
+      cpu_(fabric.sim()),
+      ctx_{fabric.sim(),  cpu_,          fabric.nic(index_),
+           costs_,        ledger_,       fabric.rng(),
+           fabric.addr(index_)},
+      ip_(ctx_),
+      udp_(ctx_, ip_),
+      tcp_(ctx_, ip_) {}
+
+}  // namespace dgiwarp::host

@@ -1,0 +1,159 @@
+#include "hoststack/ip.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace dgiwarp::host {
+
+namespace {
+
+// Simplified IP header, padded to kIpHeaderBytes so wire math matches real
+// IPv4: proto(1) flags(1) ident(2) offset(4) total(4) reserved(8).
+constexpr u8 kFlagMoreFragments = 0x01;
+
+struct IpHeader {
+  u8 proto = 0;
+  u8 flags = 0;
+  u16 ident = 0;
+  u32 offset = 0;
+  u32 total = 0;
+
+  void serialize(Bytes& out) const {
+    WireWriter w(out);
+    w.u8be(proto);
+    w.u8be(flags);
+    w.u16be(ident);
+    w.u32be(offset);
+    w.u32be(total);
+    w.u64be(0);  // reserved padding to 20 B
+  }
+  static Result<IpHeader> parse(WireReader& r) {
+    IpHeader h;
+    h.proto = r.u8be();
+    h.flags = r.u8be();
+    h.ident = r.u16be();
+    h.offset = r.u32be();
+    h.total = r.u32be();
+    r.u64be();
+    if (!r.ok()) return Status(Errc::kProtocolError, "short IP header");
+    return h;
+  }
+};
+
+}  // namespace
+
+IpLayer::IpLayer(HostCtx& ctx) : ctx_(ctx) {
+  ctx_.nic.set_rx_handler([this](sim::Frame f) { on_frame(std::move(f)); });
+}
+
+void IpLayer::register_protocol(u8 proto, ProtocolHandler handler) {
+  handlers_[proto] = std::move(handler);
+}
+
+Status IpLayer::send(u8 proto, u32 dst_ip, Bytes payload) {
+  constexpr std::size_t kMaxIpPayload = 65'535 - kIpHeaderBytes;
+  if (payload.size() > kMaxIpPayload)
+    return Status(Errc::kInvalidArgument, "IP datagram too large");
+
+  const u16 ident = next_ident_++;
+  const std::size_t total = payload.size();
+  const std::size_t frag_payload = kIpPayloadMtu;  // 1480
+  std::size_t off = 0;
+  ++dgrams_tx_;
+
+  do {
+    const std::size_t n = std::min(frag_payload, total - off);
+    IpHeader h;
+    h.proto = proto;
+    h.ident = ident;
+    h.offset = static_cast<u32>(off);
+    h.total = static_cast<u32>(total);
+    h.flags = (off + n < total) ? kFlagMoreFragments : 0;
+
+    sim::Frame f;
+    f.dst = dst_ip;
+    f.proto = sim::kProtoIpv4;
+    f.payload.reserve(kIpHeaderBytes + n);
+    h.serialize(f.payload);
+    f.payload.insert(f.payload.end(), payload.begin() + static_cast<long>(off),
+                     payload.begin() + static_cast<long>(off + n));
+
+    // Per-fragment kernel transmit cost; the frame enters the wire when the
+    // CPU has finished preparing it.
+    const TimeNs ready = ctx_.cpu.charge_kernel(ctx_.costs.ip_frag_tx);
+    ctx_.sim.at(ready, [this, fr = std::move(f)]() mutable {
+      ctx_.nic.send(std::move(fr));
+    });
+    off += n;
+  } while (off < total);
+
+  return Status::Ok();
+}
+
+void IpLayer::on_frame(sim::Frame f) {
+  WireReader r(ConstByteSpan{f.payload});
+  auto hr = IpHeader::parse(r);
+  if (!hr.ok()) {
+    DGI_WARN("ip", "malformed frame dropped (%zu B)", f.payload.size());
+    return;
+  }
+  const IpHeader& h = *hr;
+  ConstByteSpan body = r.rest();
+
+  // Per-fragment receive processing.
+  ctx_.cpu.charge_kernel(ctx_.costs.ip_frag_rx);
+
+  const bool single_fragment =
+      h.offset == 0 && (h.flags & kFlagMoreFragments) == 0;
+  if (single_fragment) {
+    ++dgrams_rx_;
+    deliver(f.src, h.proto, Bytes(body.begin(), body.end()));
+    return;
+  }
+
+  // Reassembly path.
+  const FragKey key{f.src, h.proto, h.ident};
+  auto [it, inserted] = partials_.try_emplace(key);
+  Partial& p = it->second;
+  if (inserted) {
+    p.total = h.total;
+    p.data.resize(h.total);
+    p.deadline = ctx_.sim.now() + reassembly_timeout_;
+    p.generation = next_generation_++;
+    const u64 gen = p.generation;
+    ctx_.sim.at(p.deadline, [this, key, gen] {
+      auto pit = partials_.find(key);
+      if (pit != partials_.end() && pit->second.generation == gen) {
+        ++reassembly_expired_;
+        DGI_DEBUG("ip", "reassembly timeout ident=%u (%zu/%zu B)", key.ident,
+                  pit->second.received, pit->second.total);
+        partials_.erase(pit);
+      }
+    });
+  }
+  if (h.offset + body.size() > p.data.size()) {
+    DGI_WARN("ip", "fragment beyond datagram bounds; dropped");
+    return;
+  }
+  std::memcpy(p.data.data() + h.offset, body.data(), body.size());
+  p.received += body.size();
+
+  if (p.received >= p.total) {
+    Bytes whole = std::move(p.data);
+    partials_.erase(it);
+    ++dgrams_rx_;
+    deliver(f.src, h.proto, std::move(whole));
+  }
+}
+
+void IpLayer::deliver(u32 src_ip, u8 proto, Bytes datagram) {
+  auto it = handlers_.find(proto);
+  if (it == handlers_.end()) {
+    DGI_DEBUG("ip", "no handler for proto %u", proto);
+    return;
+  }
+  it->second(src_ip, std::move(datagram));
+}
+
+}  // namespace dgiwarp::host

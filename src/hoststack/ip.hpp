@@ -1,0 +1,109 @@
+// User-space IPv4-like layer: datagram addressing, fragmentation to the
+// wire MTU, and all-or-nothing reassembly with a timeout.
+//
+// The all-or-nothing property matters for the paper's loss experiments: a
+// UDP datagram larger than the wire MTU is fragmented, and loss of ANY
+// fragment discards the entire datagram (Figures 7-8 hinge on this).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/memledger.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "hoststack/cost_model.hpp"
+#include "simnet/cpu.hpp"
+#include "simnet/nic.hpp"
+
+namespace dgiwarp::host {
+
+/// Everything a protocol layer needs from its host. The ledger is shared:
+/// charged objects (sockets, QPs) may outlive the host via pending timers.
+struct HostCtx {
+  sim::Simulation& sim;
+  sim::CpuModel& cpu;
+  sim::Nic& nic;
+  const CostModel& costs;
+  std::shared_ptr<MemLedger> ledger;
+  Rng& rng;
+  u32 ip;  // this host's address
+};
+
+/// IP protocol numbers used by the stack.
+inline constexpr u8 kIpProtoTcp = 6;
+inline constexpr u8 kIpProtoUdp = 17;
+
+/// Transport endpoint (address + port).
+struct Endpoint {
+  u32 ip = 0;
+  u16 port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& e) const {
+    return std::hash<u64>{}((u64{e.ip} << 16) ^ e.port);
+  }
+};
+
+class IpLayer {
+ public:
+  using ProtocolHandler = std::function<void(u32 src_ip, Bytes datagram)>;
+
+  explicit IpLayer(HostCtx& ctx);
+
+  /// Register the upper-layer handler for an IP protocol number. The
+  /// handler runs after per-fragment receive costs and (for fragmented
+  /// datagrams) full reassembly.
+  void register_protocol(u8 proto, ProtocolHandler handler);
+
+  /// Send one IP datagram (payload <= 65515 B). Fragments to the wire MTU.
+  /// Charges per-fragment transmit cost to this host's CPU.
+  Status send(u8 proto, u32 dst_ip, Bytes payload);
+
+  /// Entry point for frames delivered by the NIC.
+  void on_frame(sim::Frame f);
+
+  /// Reassembly timeout (incomplete datagrams are discarded after this).
+  void set_reassembly_timeout(TimeNs t) { reassembly_timeout_ = t; }
+
+  u64 datagrams_sent() const { return dgrams_tx_; }
+  u64 datagrams_delivered() const { return dgrams_rx_; }
+  u64 reassembly_expired() const { return reassembly_expired_; }
+
+ private:
+  struct FragKey {
+    u32 src;
+    u8 proto;
+    u16 ident;
+    friend bool operator<(const FragKey& a, const FragKey& b) {
+      return std::tie(a.src, a.proto, a.ident) <
+             std::tie(b.src, b.proto, b.ident);
+    }
+  };
+  struct Partial {
+    Bytes data;                  // reassembly buffer (sized on first frag)
+    std::size_t received = 0;    // payload bytes received so far
+    std::size_t total = 0;       // 0 until the last fragment arrives
+    TimeNs deadline = 0;
+    u64 generation = 0;
+  };
+
+  void deliver(u32 src_ip, u8 proto, Bytes datagram);
+
+  HostCtx& ctx_;
+  std::unordered_map<u8, ProtocolHandler> handlers_;
+  std::map<FragKey, Partial> partials_;
+  TimeNs reassembly_timeout_ = 30 * kMillisecond;
+  u16 next_ident_ = 1;
+  u64 next_generation_ = 1;
+  u64 dgrams_tx_ = 0;
+  u64 dgrams_rx_ = 0;
+  u64 reassembly_expired_ = 0;
+};
+
+}  // namespace dgiwarp::host

@@ -1,0 +1,165 @@
+#include "hoststack/udp.hpp"
+
+#include "common/log.hpp"
+
+namespace dgiwarp::host {
+
+namespace {
+
+struct UdpHeader {
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u16 length = 0;    // header + payload
+  u16 checksum = 0;  // modelled as disabled (paper: DDP CRC covers data)
+
+  void serialize(Bytes& out) const {
+    WireWriter w(out);
+    w.u16be(src_port);
+    w.u16be(dst_port);
+    w.u16be(length);
+    w.u16be(checksum);
+  }
+  static Result<UdpHeader> parse(WireReader& r) {
+    UdpHeader h;
+    h.src_port = r.u16be();
+    h.dst_port = r.u16be();
+    h.length = r.u16be();
+    h.checksum = r.u16be();
+    if (!r.ok()) return Status(Errc::kProtocolError, "short UDP header");
+    return h;
+  }
+};
+
+}  // namespace
+
+UdpSocket::UdpSocket(UdpLayer& layer, u16 port)
+    : layer_(layer),
+      port_(port),
+      mem_(layer.ctx().ledger, "udp.sock",
+           static_cast<i64>(layer.ctx().costs.udp_sock_bytes +
+                            layer.ctx().costs.udp_buf_bytes)) {}
+
+Status UdpSocket::send_to(Endpoint dst, const GatherList& data) {
+  if (data.total_size() > kMaxUdpPayload)
+    return Status(Errc::kInvalidArgument, "datagram exceeds 64KB limit");
+
+  HostCtx& ctx = layer_.ctx();
+  // sendto() syscall + user->kernel copy of the payload.
+  ctx.cpu.charge_kernel(ctx.costs.udp_sendto_fixed +
+                 static_cast<TimeNs>(ctx.costs.kernel_copy_ns_per_byte *
+                                     static_cast<double>(data.total_size())));
+
+  Bytes dgram;
+  dgram.reserve(kUdpHeaderBytes + data.total_size());
+  UdpHeader h;
+  h.src_port = port_;
+  h.dst_port = dst.port;
+  h.length = static_cast<u16>(kUdpHeaderBytes + data.total_size());
+  h.serialize(dgram);
+  const std::size_t payload_at = dgram.size();
+  dgram.resize(payload_at + data.total_size());
+  data.copy_out(0, ByteSpan{dgram}.subspan(payload_at));
+
+  ++tx_count_;
+  return layer_.ip().send(kIpProtoUdp, dst.ip, std::move(dgram));
+}
+
+std::optional<std::pair<Endpoint, Bytes>> UdpSocket::recv() {
+  if (rx_queue_.empty()) return std::nullopt;
+  auto front = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  return front;
+}
+
+void UdpSocket::deliver(Endpoint src, Bytes data) {
+  ++rx_count_;
+  if (handler_) {
+    handler_(src, std::move(data));
+    return;
+  }
+  if (rx_queue_.size() >= rx_queue_limit_) {
+    ++rx_dropped_full_;
+    DGI_DEBUG("udp", "rx queue overflow on port %u; datagram dropped", port_);
+    return;
+  }
+  rx_queue_.emplace_back(src, std::move(data));
+}
+
+UdpLayer::UdpLayer(HostCtx& ctx, IpLayer& ip) : ctx_(ctx), ip_(ip) {
+  ip_.register_protocol(kIpProtoUdp, [this](u32 src_ip, Bytes dgram) {
+    on_datagram(src_ip, std::move(dgram));
+  });
+}
+
+Result<UdpSocket*> UdpLayer::open(u16 port) {
+  if (port == 0) {
+    // Ephemeral allocation; skip occupied ports.
+    for (int tries = 0; tries < 16'384; ++tries) {
+      const u16 candidate = next_ephemeral_;
+      next_ephemeral_ =
+          next_ephemeral_ == 65'535 ? u16{49'152} : u16(next_ephemeral_ + 1);
+      if (!sockets_.contains(candidate)) {
+        port = candidate;
+        break;
+      }
+    }
+    if (port == 0)
+      return Status(Errc::kResourceExhausted, "no ephemeral UDP ports");
+  } else if (sockets_.contains(port)) {
+    return Status(Errc::kInvalidArgument, "UDP port in use");
+  }
+  auto sock = std::unique_ptr<UdpSocket>(new UdpSocket(*this, port));
+  UdpSocket* raw = sock.get();
+  sockets_.emplace(port, std::move(sock));
+  return raw;
+}
+
+void UdpLayer::close(UdpSocket* sock) {
+  if (sock) sockets_.erase(sock->local_port());
+}
+
+void UdpLayer::on_datagram(u32 src_ip, Bytes dgram) {
+  WireReader r(ConstByteSpan{dgram});
+  auto hr = UdpHeader::parse(r);
+  if (!hr.ok()) return;
+  const UdpHeader& h = *hr;
+
+  auto it = sockets_.find(h.dst_port);
+  if (it == sockets_.end()) {
+    DGI_DEBUG("udp", "no socket on port %u; datagram dropped", h.dst_port);
+    return;
+  }
+
+  ConstByteSpan body = r.rest();
+  Bytes payload(body.begin(), body.end());
+
+  // Kernel rx: socket demux + wakeup + kernel->user copy of the (fully
+  // reassembled) datagram. Note: this copy happens only once the whole
+  // datagram is present — large UD datagrams cannot overlap receive-side
+  // stack work with their own arrival, unlike TCP's per-segment delivery.
+  HostCtx& c = ctx_;
+  // A busy receiver (user lane backlogged) picks datagrams up from its
+  // receive loop without paying the full scheduler wakeup.
+  const bool receiver_busy = c.cpu.free_at() > c.sim.now();
+  const TimeNs cost =
+      (receiver_busy ? c.costs.udp_deliver_busy_fixed
+                     : c.costs.udp_deliver_fixed) +
+      static_cast<TimeNs>(c.costs.kernel_copy_ns_per_byte *
+                          static_cast<double>(payload.size()));
+  const Endpoint src{src_ip, h.src_port};
+  const u16 dst_port = h.dst_port;
+  // Interrupt/wakeup latency first (pure delay), then the CPU-time charge.
+  // Re-resolve the socket at delivery time: it may be closed while the
+  // kernel-processing charge is still pending.
+  c.sim.after(c.costs.rx_wakeup_delay, [this, cost, dst_port, src,
+                                        p = std::move(payload)]() mutable {
+    ctx_.cpu.charge_kernel_then(cost,
+                         [this, dst_port, src, p = std::move(p)]() mutable {
+                           auto sit = sockets_.find(dst_port);
+                           if (sit != sockets_.end())
+                             sit->second->deliver(src, std::move(p));
+                         });
+  });
+}
+
+}  // namespace dgiwarp::host

@@ -1,0 +1,81 @@
+// User-space UDP over the IpLayer. Datagram semantics: message boundaries
+// preserved, no ordering, no reliability; datagrams above the wire MTU are
+// IP-fragmented and reassembled all-or-nothing.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "hoststack/ip.hpp"
+
+namespace dgiwarp::host {
+
+class UdpLayer;
+
+/// One bound UDP socket. Obtained from UdpLayer::open(); closed via
+/// UdpLayer::close() or automatically when the layer is destroyed.
+class UdpSocket {
+ public:
+  /// (source endpoint, datagram payload); runs after kernel rx costs.
+  using DatagramHandler = std::function<void(Endpoint, Bytes)>;
+
+  u16 local_port() const { return port_; }
+
+  /// Push-mode delivery. If no handler is set, datagrams queue for recv().
+  void set_handler(DatagramHandler h) { handler_ = std::move(h); }
+
+  /// Pull-mode delivery (native-socket style used by the isock passthrough).
+  std::optional<std::pair<Endpoint, Bytes>> recv();
+  bool has_data() const { return !rx_queue_.empty(); }
+
+  /// Send one datagram (payload <= 65507 B). Charges the kernel sendto path.
+  Status send_to(Endpoint dst, const GatherList& data);
+  Status send_to(Endpoint dst, ConstByteSpan data) {
+    return send_to(dst, GatherList(data));
+  }
+
+  u64 datagrams_sent() const { return tx_count_; }
+  u64 datagrams_received() const { return rx_count_; }
+
+ private:
+  friend class UdpLayer;
+  UdpSocket(UdpLayer& layer, u16 port);
+
+  void deliver(Endpoint src, Bytes data);
+
+  UdpLayer& layer_;
+  u16 port_;
+  DatagramHandler handler_;
+  std::deque<std::pair<Endpoint, Bytes>> rx_queue_;
+  std::size_t rx_queue_limit_ = 256;  // datagrams; overflow drops (like SO_RCVBUF)
+  u64 tx_count_ = 0;
+  u64 rx_count_ = 0;
+  u64 rx_dropped_full_ = 0;
+  MemCharge mem_;
+};
+
+class UdpLayer {
+ public:
+  UdpLayer(HostCtx& ctx, IpLayer& ip);
+
+  /// Bind a socket to `port` (0 picks an ephemeral port).
+  Result<UdpSocket*> open(u16 port = 0);
+  void close(UdpSocket* sock);
+
+  std::size_t open_sockets() const { return sockets_.size(); }
+  HostCtx& ctx() { return ctx_; }
+  IpLayer& ip() { return ip_; }
+
+ private:
+  void on_datagram(u32 src_ip, Bytes dgram);
+
+  HostCtx& ctx_;
+  IpLayer& ip_;
+  std::unordered_map<u16, std::unique_ptr<UdpSocket>> sockets_;
+  u16 next_ephemeral_ = 49'152;
+};
+
+}  // namespace dgiwarp::host

@@ -1,0 +1,521 @@
+#include "isock/isock.hpp"
+
+#include "common/log.hpp"
+
+namespace dgiwarp::isock {
+
+namespace {
+
+// Control tags for the Write-Record advert exchange. In Write-Record mode
+// untagged (send/recv) traffic is control-only; in send/recv mode all
+// untagged traffic is raw data and no tags are used.
+constexpr u8 kCtlHello = 0x01;
+constexpr u8 kCtlAdvert = 0x02;
+
+// Stream message tags (first byte of every RC message): SDP-style credit
+// flow control so a sender can never overrun the peer's posted receive
+// buffers (each message consumes one posted buffer).
+constexpr u8 kStreamData = 0x10;
+constexpr u8 kStreamCredit = 0x11;
+
+}  // namespace
+
+ISockStack::ISockStack(verbs::Device& device, ISockConfig config)
+    : dev_(device), cfg_(config), pd_(device.create_pd()) {}
+
+ISockStack::~ISockStack() = default;
+
+ISockStack::Sock* ISockStack::find(int fd) {
+  auto it = socks_.find(fd);
+  return it == socks_.end() ? nullptr : &it->second;
+}
+const ISockStack::Sock* ISockStack::find(int fd) const {
+  auto it = socks_.find(fd);
+  return it == socks_.end() ? nullptr : &it->second;
+}
+
+Result<int> ISockStack::socket(SockType type, std::size_t pool_slots,
+                               std::size_t slot_bytes) {
+  const int fd = next_fd_++;
+  Sock s;
+  s.type = type;
+  s.pool_slots = pool_slots ? pool_slots : cfg_.pool_slots;
+  s.slot_bytes = slot_bytes ? slot_bytes : cfg_.slot_bytes;
+  socks_.emplace(fd, std::move(s));
+  return fd;
+}
+
+Status ISockStack::bind(int fd, u16 port) {
+  Sock* s = find(fd);
+  if (!s) return Status(Errc::kInvalidArgument, "bad fd");
+  if (s->bound) return Status(Errc::kInvalidArgument, "already bound");
+  if (s->type == SockType::kDatagram) {
+    if (Status st = setup_datagram(fd, *s, port); !st.ok()) return st;
+  } else {
+    s->listen_port = port;  // stream binding takes effect at listen()
+  }
+  s->bound = true;
+  return Status::Ok();
+}
+
+u16 ISockStack::local_port(int fd) const {
+  const Sock* s = find(fd);
+  if (!s) return 0;
+  if (s->native) return s->native->local_port();
+  if (s->ud) return s->ud->local_port();
+  return s->listen_port;
+}
+
+Status ISockStack::setup_datagram(int fd, Sock& s, u16 port) {
+  if (!cfg_.use_iwarp) {
+    auto sock = dev_.host().udp().open(port);
+    if (!sock.ok()) return sock.status();
+    s.native = *sock;
+    // Stash the fd->deliver path through the socket handler.
+    return Status::Ok();
+  }
+
+  auto& send_cq = dev_.create_cq(1 << 14);
+  auto& recv_cq = dev_.create_cq(1 << 14);
+  auto qp = dev_.create_ud_qp(
+      {&pd_, &send_cq, &recv_cq, port, cfg_.reliable_dgram});
+  if (!qp.ok()) return qp.status();
+  s.ud = *qp;
+
+  // Buffered-copy pool: one registered slot ring per socket. In Write-Record
+  // mode peers write into it directly; in send/recv mode its slots back the
+  // posted receive WRs.
+  s.pool.assign(s.pool_slots * s.slot_bytes, 0);
+  s.pool_mr = pd_.register_memory(ByteSpan{s.pool},
+                                  verbs::kLocalWrite | verbs::kRemoteWrite);
+  s.pool_mem = MemCharge(dev_.host().ledger_ptr(), "isock.pool",
+                         static_cast<i64>(s.pool.size()));
+  post_pool_recvs(s);
+
+  // Wire the CQ event pump now: a passive socket must react to incoming
+  // control traffic (HELLO/ADVERT) without the application calling in.
+  s.ud->recv_cq().set_event_handler([this, fd] {
+    if (Sock* sk = find(fd)) pump_recv_cq(*sk);
+  });
+  return Status::Ok();
+}
+
+void ISockStack::post_pool_recvs(Sock& s) {
+  // Send/recv mode: every slot is a receive buffer. Write-Record mode:
+  // only a handful of small control buffers (HELLO/ADVERT) are posted —
+  // data arrives one-sided.
+  if (cfg_.ud_mode == XferMode::kSendRecv) {
+    for (std::size_t i = 0; i < s.pool_slots; ++i) {
+      (void)s.ud->post_recv(verbs::RecvWr{
+          i, ByteSpan{s.pool}.subspan(i * s.slot_bytes, s.slot_bytes)});
+    }
+  } else {
+    s.rx_bufs.clear();
+    for (std::size_t i = 0; i < 8; ++i) {
+      s.rx_bufs.push_back(Bytes(64, 0));
+      (void)s.ud->post_recv(verbs::RecvWr{1000 + i, ByteSpan{s.rx_bufs.back()}});
+    }
+  }
+}
+
+// Wire a socket's receive CQ to the interface's dispatcher. Called lazily
+// the first time delivery matters (handler installed or data flowing).
+void ISockStack::pump_recv_cq(Sock& s) {
+  if (!s.ud) return;
+  auto& cq = s.ud->recv_cq();
+  while (auto c = cq.poll()) {
+    if (!c->status.ok()) {
+      // Loss-recovered buffer (UD) — repost it in send/recv mode.
+      if (cfg_.ud_mode == XferMode::kSendRecv && c->wr_id < s.pool_slots) {
+        (void)s.ud->post_recv(verbs::RecvWr{
+            c->wr_id, ByteSpan{s.pool}.subspan(c->wr_id * s.slot_bytes,
+                                               s.slot_bytes)});
+      }
+      continue;
+    }
+    if (c->opcode == verbs::WcOpcode::kRecvWriteRecord) {
+      // One-sided data: locate the slot via the reported base offset.
+      if (!c->validity.ranges().empty()) {
+        const auto span = ConstByteSpan{s.pool}.subspan(
+            static_cast<std::size_t>(c->base_to), c->byte_len);
+        deliver_datagram(s, c->src, span);
+      }
+      continue;
+    }
+    if (c->opcode == verbs::WcOpcode::kRecv) {
+      if (cfg_.ud_mode == XferMode::kSendRecv) {
+        const auto slot = static_cast<std::size_t>(c->wr_id);
+        const auto span =
+            ConstByteSpan{s.pool}.subspan(slot * s.slot_bytes, c->byte_len);
+        deliver_datagram(s, c->src, span);
+        (void)s.ud->post_recv(verbs::RecvWr{
+            c->wr_id,
+            ByteSpan{s.pool}.subspan(slot * s.slot_bytes, s.slot_bytes)});
+      } else {
+        // Control traffic in Write-Record mode.
+        const std::size_t idx = static_cast<std::size_t>(c->wr_id - 1000);
+        if (idx < s.rx_bufs.size()) {
+          verbs::Completion& cc = *c;
+          handle_control(s, cc.src,
+                         ConstByteSpan{s.rx_bufs[idx]}.subspan(0, cc.byte_len));
+          (void)s.ud->post_recv(
+              verbs::RecvWr{c->wr_id, ByteSpan{s.rx_bufs[idx]}});
+        }
+      }
+    }
+  }
+}
+
+void ISockStack::deliver_datagram(Sock& s, Endpoint src, ConstByteSpan data) {
+  ++s.stats.datagrams_rx;
+  s.stats.bytes_rx += data.size();
+  // Buffered copy: the interface copies from the registered pool into an
+  // application-visible buffer (paper §VI.B.1 — this copy is why WR and
+  // S/R perform almost identically through the socket interface).
+  dev_.host().cpu().charge(static_cast<TimeNs>(
+      dev_.host().costs().touch_ns_per_byte * static_cast<double>(data.size())));
+  if (s.on_datagram) {
+    s.on_datagram(src, data);
+    return;
+  }
+  if (s.rx_queue.size() >= s.rx_queue_limit) {
+    ++s.stats.rx_dropped_no_slot;
+    return;
+  }
+  s.rx_queue.emplace_back(src, Bytes(data.begin(), data.end()));
+}
+
+void ISockStack::handle_control(Sock& s, Endpoint src, ConstByteSpan data) {
+  WireReader r(data);
+  const u8 tag = r.u8be();
+  if (tag == kCtlHello) {
+    const u32 remote_qpn = r.u32be();
+    if (!r.ok()) return;
+    send_advert(s, src, remote_qpn);
+    return;
+  }
+  if (tag == kCtlAdvert) {
+    PeerState& peer = s.peers[src];
+    peer.stag = r.u32be();
+    peer.slots = r.u32be();
+    peer.slot_bytes = r.u32be();
+    peer.remote_qpn = r.u32be();
+    if (!r.ok()) return;
+    peer.advertised = true;
+    // Flush datagrams that queued while waiting for the advert.
+    auto pending = std::move(peer.pending);
+    peer.pending.clear();
+    for (auto& [dst, payload] : pending)
+      (void)send_write_record(s, peer, dst, ConstByteSpan{payload});
+    return;
+  }
+  DGI_DEBUG("isock", "unknown control tag %u", tag);
+}
+
+void ISockStack::send_advert(Sock& s, Endpoint dst, u32 remote_qpn) {
+  Bytes msg;
+  WireWriter w(msg);
+  w.u8be(kCtlAdvert);
+  w.u32be(s.pool_mr.stag);
+  w.u32be(static_cast<u32>(s.pool_slots));
+  w.u32be(static_cast<u32>(s.slot_bytes));
+  w.u32be(s.ud->qpn());
+  verbs::SendWr wr;
+  wr.wr_id = 0;
+  wr.opcode = verbs::WrOpcode::kSend;
+  wr.local = ConstByteSpan{msg};
+  wr.remote = {dst, remote_qpn};
+  wr.signaled = false;
+  (void)s.ud->post_send(wr);
+}
+
+Status ISockStack::send_write_record(Sock& s, PeerState& peer, Endpoint dst,
+                                     ConstByteSpan data) {
+  if (data.size() > peer.slot_bytes)
+    return Status(Errc::kInvalidArgument, "datagram exceeds peer slot size");
+  const u64 slot = peer.next_slot++ % peer.slots;
+  verbs::SendWr wr;
+  wr.wr_id = 0;
+  wr.opcode = verbs::WrOpcode::kWriteRecord;
+  wr.local = data;
+  wr.remote = {dst, peer.remote_qpn};
+  wr.remote_stag = peer.stag;
+  wr.remote_offset = slot * peer.slot_bytes;
+  wr.signaled = false;
+  return s.ud->post_send(wr);
+}
+
+Status ISockStack::sendto(int fd, Endpoint dst, ConstByteSpan data) {
+  Sock* s = find(fd);
+  if (!s || s->type != SockType::kDatagram)
+    return Status(Errc::kInvalidArgument, "bad fd");
+  if (!s->bound) {
+    if (Status st = bind(fd, 0); !st.ok()) return st;
+    s = find(fd);
+  }
+  ++s->stats.datagrams_tx;
+  s->stats.bytes_tx += data.size();
+
+  if (s->native) return s->native->send_to(dst, data);
+
+  if (cfg_.ud_mode == XferMode::kSendRecv) {
+    verbs::SendWr wr;
+    wr.opcode = verbs::WrOpcode::kSend;
+    wr.local = data;
+    wr.remote = {dst, 0 /* matched by port, see UD demux */};
+    // UD QPs demux by UDP port; the remote QPN is informational here
+    // because the socket interface binds one QP per port.
+    wr.signaled = false;
+    return s->ud->post_send(wr);
+  }
+
+  // Write-Record data path: needs the peer's slot-ring advert first.
+  PeerState& peer = s->peers[dst];
+  if (!peer.advertised) {
+    peer.pending.emplace_back(dst, Bytes(data.begin(), data.end()));
+    if (peer.pending.size() == 1) {
+      Bytes hello;
+      WireWriter w(hello);
+      w.u8be(kCtlHello);
+      w.u32be(s->ud->qpn());
+      verbs::SendWr wr;
+      wr.opcode = verbs::WrOpcode::kSend;
+      wr.local = ConstByteSpan{hello};
+      wr.remote = {dst, 0};
+      wr.signaled = false;
+      return s->ud->post_send(wr);
+    }
+    return Status::Ok();
+  }
+  return send_write_record(*s, peer, dst, data);
+}
+
+std::optional<std::pair<Endpoint, Bytes>> ISockStack::recvfrom(int fd) {
+  Sock* s = find(fd);
+  if (!s) return std::nullopt;
+  if (s->native) {
+    return s->native->recv();
+  }
+  if (s->ud) pump_recv_cq(*s);
+  if (s->rx_queue.empty()) return std::nullopt;
+  auto front = std::move(s->rx_queue.front());
+  s->rx_queue.pop_front();
+  return front;
+}
+
+void ISockStack::set_datagram_handler(int fd, DatagramHandler h) {
+  Sock* s = find(fd);
+  if (!s) return;
+  s->on_datagram = std::move(h);
+  if (s->native) {
+    Sock* sp = s;
+    s->native->set_handler([this, sp](Endpoint src, Bytes data) {
+      ++sp->stats.datagrams_rx;
+      sp->stats.bytes_rx += data.size();
+      if (sp->on_datagram) sp->on_datagram(src, ConstByteSpan{data});
+    });
+    return;
+  }
+  if (s->ud) pump_recv_cq(*s);  // drain anything already queued
+}
+
+// --- stream sockets --------------------------------------------------------
+
+void ISockStack::wire_stream_qp(int fd, Sock& s) {
+  // Accepted connections share the listener's CQs, so completions are
+  // routed by QPN rather than by capturing one fd per CQ.
+  qpn_fd_[s.rc->qpn()] = fd;
+  // Initial credits: the peer posts the same ring geometry (both ends run
+  // the same interface); reserve a slot for credit messages themselves.
+  s.tx_credits = s.pool_slots > 1 ? s.pool_slots - 1 : 1;
+  auto& rcq = s.rc->recv_cq();
+  rcq.set_event_handler([this, &rcq] { pump_stream_recv(rcq); });
+  auto& scq = s.rc->send_cq();
+  scq.set_event_handler([this, &scq] { pump_stream_send(scq); });
+  post_stream_recvs(s);
+}
+
+void ISockStack::pump_stream_recv(verbs::CompletionQueue& cq) {
+  while (auto c = cq.poll()) {
+    auto fit = qpn_fd_.find(c->qpn);
+    if (fit == qpn_fd_.end()) continue;
+    Sock* sk = find(fit->second);
+    if (!sk || !sk->rc) continue;
+    if (!c->status.ok() || c->opcode != verbs::WcOpcode::kRecv) continue;
+    const std::size_t idx = static_cast<std::size_t>(c->wr_id);
+    if (idx >= sk->stream_rx_bufs.size()) continue;
+    const ConstByteSpan msg =
+        ConstByteSpan{sk->stream_rx_bufs[idx]}.subspan(0, c->byte_len);
+    // Repost the buffer before dispatch: handlers may trigger more traffic.
+    const auto repost = [&] {
+      (void)sk->rc->post_recv(
+          verbs::RecvWr{c->wr_id, ByteSpan{sk->stream_rx_bufs[idx]}});
+    };
+    if (msg.empty()) {
+      repost();
+      continue;
+    }
+    const u8 tag = msg[0];
+    if (tag == kStreamCredit) {
+      WireReader r(msg.subspan(1));
+      sk->tx_credits += r.u32be();
+      repost();
+      continue;
+    }
+    if (tag != kStreamData) {
+      repost();
+      continue;
+    }
+    Bytes payload(msg.begin() + 1, msg.end());
+    repost();
+    sk->stats.bytes_rx += payload.size();
+    dev_.host().cpu().charge(static_cast<TimeNs>(
+        dev_.host().costs().touch_ns_per_byte *
+        static_cast<double>(payload.size())));
+    // Return credits in batches (quarter ring), with a lazy flush so the
+    // tail of a transfer cannot strand the sender at zero credits.
+    ++sk->pending_credits;
+    if (sk->pending_credits >= std::max<std::size_t>(sk->pool_slots / 4, 1)) {
+      send_stream_credits(*sk);
+    } else if (!sk->credit_flush_scheduled) {
+      sk->credit_flush_scheduled = true;
+      const int fd = fit->second;
+      dev_.host().sim().after(500 * kMicrosecond, [this, fd] {
+        if (Sock* s2 = find(fd)) {
+          s2->credit_flush_scheduled = false;
+          send_stream_credits(*s2);
+        }
+      });
+    }
+    if (sk->on_stream) sk->on_stream(ConstByteSpan{payload});
+  }
+}
+
+void ISockStack::send_stream_credits(Sock& s) {
+  if (!s.rc || !s.rc->connected() || s.pending_credits == 0) return;
+  Bytes msg;
+  WireWriter w(msg);
+  w.u8be(kStreamCredit);
+  w.u32be(static_cast<u32>(s.pending_credits));
+  s.pending_credits = 0;
+  s.tx_hold.push_back(std::move(msg));
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kSend;
+  wr.local = ConstByteSpan{s.tx_hold.back()};
+  wr.signaled = true;
+  (void)s.rc->post_send(wr);
+}
+
+void ISockStack::pump_stream_send(verbs::CompletionQueue& cq) {
+  while (auto c = cq.poll()) {
+    auto fit = qpn_fd_.find(c->qpn);
+    if (fit == qpn_fd_.end()) continue;
+    Sock* sk = find(fit->second);
+    if (!sk) continue;
+    if (c->opcode == verbs::WcOpcode::kSend && !sk->tx_hold.empty())
+      sk->tx_hold.pop_front();
+  }
+}
+
+void ISockStack::post_stream_recvs(Sock& s) {
+  s.stream_rx_bufs.clear();
+  for (std::size_t i = 0; i < s.pool_slots; ++i) {
+    s.stream_rx_bufs.push_back(Bytes(s.slot_bytes, 0));
+    (void)s.rc->post_recv(verbs::RecvWr{i, ByteSpan{s.stream_rx_bufs.back()}});
+  }
+  s.pool_mem = MemCharge(dev_.host().ledger_ptr(), "isock.pool",
+                         static_cast<i64>(s.pool_slots * s.slot_bytes));
+}
+
+Status ISockStack::connect(int fd, Endpoint dst, ConnectHandler on_connected) {
+  Sock* s = find(fd);
+  if (!s || s->type != SockType::kStream)
+    return Status(Errc::kInvalidArgument, "bad fd");
+  auto& send_cq = dev_.create_cq(1 << 14);
+  auto& recv_cq = dev_.create_cq(1 << 14);
+  auto qp = dev_.rc_connect({&pd_, &send_cq, &recv_cq}, dst);
+  if (!qp.ok()) return qp.status();
+  s->rc = *qp;
+  wire_stream_qp(fd, *s);
+  s->rc->on_established(std::move(on_connected));
+  return Status::Ok();
+}
+
+Status ISockStack::listen(int fd, AcceptHandler on_accept) {
+  Sock* s = find(fd);
+  if (!s || s->type != SockType::kStream)
+    return Status(Errc::kInvalidArgument, "bad fd");
+  if (!s->bound) return Status(Errc::kInvalidArgument, "bind first");
+  s->on_accept = std::move(on_accept);
+  auto& send_cq = dev_.create_cq(1 << 14);
+  auto& recv_cq = dev_.create_cq(1 << 14);
+  const int listen_fd = fd;
+  return dev_.rc_listen(
+      s->listen_port, {&pd_, &send_cq, &recv_cq},
+      [this, listen_fd](std::shared_ptr<verbs::RcQueuePair> qp) {
+        Sock* ls = find(listen_fd);
+        if (!ls) return;
+        const int newfd = next_fd_++;
+        Sock ns;
+        ns.type = SockType::kStream;
+        ns.bound = true;
+        ns.pool_slots = ls->pool_slots;
+        ns.slot_bytes = ls->slot_bytes;
+        ns.rc = std::move(qp);
+        auto [it, _] = socks_.emplace(newfd, std::move(ns));
+        wire_stream_qp(newfd, it->second);
+        if (ls->on_accept) ls->on_accept(newfd);
+      });
+}
+
+std::size_t ISockStack::send(int fd, ConstByteSpan data) {
+  Sock* s = find(fd);
+  if (!s || !s->rc || !s->rc->connected()) return 0;
+  if (s->tx_credits == 0) return 0;     // peer has no posted buffer for us
+  if (s->tx_hold.size() >= s->pool_slots * 4) return 0;  // staging bound
+  if (data.size() + 1 > s->slot_bytes) return 0;  // must fit one buffer
+  // Buffered copy into a staging buffer that stays valid until the send
+  // completes (the verbs contract); prefixed with the data tag.
+  dev_.host().cpu().charge(static_cast<TimeNs>(
+      dev_.host().costs().touch_ns_per_byte * static_cast<double>(data.size())));
+  Bytes staged;
+  staged.reserve(data.size() + 1);
+  staged.push_back(kStreamData);
+  staged.insert(staged.end(), data.begin(), data.end());
+  s->tx_hold.push_back(std::move(staged));
+  --s->tx_credits;
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kSend;
+  wr.local = ConstByteSpan{s->tx_hold.back()};
+  wr.signaled = true;
+  if (!s->rc->post_send(wr).ok()) {
+    s->tx_hold.pop_back();
+    ++s->tx_credits;
+    return 0;
+  }
+  s->stats.bytes_tx += data.size();
+  return data.size();
+}
+
+void ISockStack::set_stream_handler(int fd, StreamDataHandler h) {
+  if (Sock* s = find(fd)) s->on_stream = std::move(h);
+}
+
+Status ISockStack::close(int fd) {
+  Sock* s = find(fd);
+  if (!s) return Status(Errc::kInvalidArgument, "bad fd");
+  if (s->native) dev_.host().udp().close(s->native);
+  if (s->rc) {
+    qpn_fd_.erase(s->rc->qpn());
+    s->rc->disconnect();
+  }
+  socks_.erase(fd);
+  return Status::Ok();
+}
+
+const ISockStats& ISockStack::stats(int fd) const {
+  const Sock* s = find(fd);
+  return s ? s->stats : zero_stats_;
+}
+
+}  // namespace dgiwarp::isock

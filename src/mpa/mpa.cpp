@@ -1,0 +1,164 @@
+#include "mpa/mpa.hpp"
+
+#include "common/log.hpp"
+
+namespace dgiwarp::mpa {
+
+namespace {
+
+std::size_t pad_for(std::size_t ulpdu_len) {
+  return (4 - ((kLengthBytes + ulpdu_len) % 4)) % 4;
+}
+
+}  // namespace
+
+std::size_t framed_size(std::size_t ulpdu_len, u64 stream_pos,
+                        const MpaConfig& cfg) {
+  std::size_t raw = kLengthBytes + ulpdu_len + pad_for(ulpdu_len);
+  if (cfg.use_crc) raw += kCrcBytes;
+  if (!cfg.use_markers) return raw;
+  // Count markers hit while writing `raw` bytes starting at stream_pos.
+  std::size_t total = 0;
+  u64 pos = stream_pos;
+  std::size_t left = raw;
+  while (left > 0) {
+    if (pos > 0 && pos % kMarkerInterval == 0) {
+      total += kMarkerBytes;
+      pos += kMarkerBytes;
+    }
+    const std::size_t to_boundary = static_cast<std::size_t>(
+        kMarkerInterval - (pos % kMarkerInterval));
+    const std::size_t n = std::min(left, to_boundary);
+    pos += n;
+    left -= n;
+    total += n;
+  }
+  return total;
+}
+
+std::size_t max_ulpdu_for(std::size_t stream_budget, const MpaConfig& cfg) {
+  std::size_t overhead = kLengthBytes + (cfg.use_crc ? kCrcBytes : 0) + 3;
+  if (cfg.use_markers)
+    overhead += ((stream_budget / kMarkerInterval) + 1) * kMarkerBytes;
+  if (stream_budget <= overhead) return 0;
+  std::size_t l = stream_budget - overhead;
+  // Tighten: framed_size is position dependent; use worst case (pos == 0 is
+  // best case, so assume a marker can land anywhere) — the loop above
+  // already included one extra marker, so l is safe for any position.
+  return l;
+}
+
+void MpaSender::emit(Bytes& out, ConstByteSpan raw) {
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    if (cfg_.use_markers && pos_ > 0 && pos_ % kMarkerInterval == 0) {
+      // Marker: 2B reserved + 2B pointer back to the FPDU start.
+      const u64 back = pos_ - fpdu_start_;
+      WireWriter w(out);
+      w.u16be(0);
+      w.u16be(static_cast<u16>(back > 0xFFFF ? 0xFFFF : back));
+      pos_ += kMarkerBytes;
+    }
+    std::size_t n = raw.size() - off;
+    if (cfg_.use_markers) {
+      const std::size_t to_boundary = static_cast<std::size_t>(
+          kMarkerInterval - (pos_ % kMarkerInterval));
+      n = std::min(n, to_boundary);
+    }
+    out.insert(out.end(), raw.begin() + static_cast<long>(off),
+               raw.begin() + static_cast<long>(off + n));
+    off += n;
+    pos_ += n;
+  }
+}
+
+Bytes MpaSender::frame(ConstByteSpan ulpdu) {
+  fpdu_start_ = pos_;
+  Bytes fpdu;
+  fpdu.reserve(kLengthBytes + ulpdu.size() + 8);
+  WireWriter w(fpdu);
+  w.u16be(static_cast<u16>(ulpdu.size()));
+  w.bytes(ulpdu);
+  for (std::size_t i = 0; i < pad_for(ulpdu.size()); ++i) w.u8be(0);
+  if (cfg_.use_crc) {
+    const u32 crc = crc32_ieee(ConstByteSpan{fpdu});
+    w.u32be(crc);
+  }
+  Bytes out;
+  out.reserve(fpdu.size() + fpdu.size() / kMarkerInterval * kMarkerBytes +
+              kMarkerBytes);
+  emit(out, ConstByteSpan{fpdu});
+  return out;
+}
+
+Status MpaReceiver::consume(ConstByteSpan stream) {
+  if (poisoned_) return Status(Errc::kConnectionReset, "MPA stream poisoned");
+
+  // Strip markers by absolute stream position.
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    if (cfg_.use_markers &&
+        (marker_seen_ > 0 || (pos_ > 0 && pos_ % kMarkerInterval == 0))) {
+      // A marker (4 B) occupies this position; it may itself be split
+      // across consume() calls, tracked by marker_seen_.
+      const std::size_t take = std::min<std::size_t>(
+          kMarkerBytes - marker_seen_, stream.size() - off);
+      marker_seen_ += take;
+      off += take;
+      pos_ += take;
+      if (marker_seen_ < kMarkerBytes) break;  // wait for the rest
+      marker_seen_ = 0;
+      continue;
+    }
+    std::size_t n = stream.size() - off;
+    if (cfg_.use_markers) {
+      const std::size_t to_boundary = static_cast<std::size_t>(
+          kMarkerInterval - (pos_ % kMarkerInterval));
+      n = std::min(n, to_boundary);
+    }
+    pending_.insert(pending_.end(), stream.begin() + static_cast<long>(off),
+                    stream.begin() + static_cast<long>(off + n));
+    off += n;
+    pos_ += n;
+  }
+
+  return process_defragged();
+}
+
+Status MpaReceiver::process_defragged() {
+  std::size_t head = 0;
+  while (pending_.size() - head >= kLengthBytes) {
+    const std::size_t len =
+        (std::size_t{pending_[head]} << 8) | pending_[head + 1];
+    const std::size_t body = kLengthBytes + len + pad_for(len);
+    const std::size_t total = body + (cfg_.use_crc ? kCrcBytes : 0);
+    if (pending_.size() - head < total) break;
+
+    if (cfg_.use_crc) {
+      const u32 want = crc32_ieee(
+          ConstByteSpan{pending_}.subspan(head, body));
+      const ConstByteSpan cb = ConstByteSpan{pending_}.subspan(head + body, 4);
+      const u32 got = (u32{cb[0]} << 24) | (u32{cb[1]} << 16) |
+                      (u32{cb[2]} << 8) | cb[3];
+      if (want != got) {
+        ++crc_failures_;
+        poisoned_ = true;
+        pending_.clear();
+        return Status(Errc::kCrcError, "MPA FPDU CRC mismatch");
+      }
+    }
+
+    ++delivered_;
+    if (handler_) {
+      handler_(Bytes(pending_.begin() + static_cast<long>(head + kLengthBytes),
+                     pending_.begin() + static_cast<long>(head + kLengthBytes +
+                                                          len)));
+    }
+    head += total;
+  }
+  if (head > 0)
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(head));
+  return Status::Ok();
+}
+
+}  // namespace dgiwarp::mpa

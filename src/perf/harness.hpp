@@ -1,0 +1,64 @@
+// Measurement harness shared by the figure benches and calibration tests.
+//
+// Reproduces the paper's verbs-level micro-benchmarks (§VI.A): ping-pong
+// latency and unidirectional bandwidth for each mode, with optional packet
+// loss injected on the sender's egress (the paper used a tc FIFO queue
+// configured to drop at a fixed rate). All numbers are virtual time.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dgiwarp::perf {
+
+/// Transport/operation mode under test.
+enum class Mode {
+  kUdSendRecv,
+  kUdWriteRecord,
+  kRcSendRecv,
+  kRcRdmaWrite,    // RC RDMA Write + notifying Send (paper Figure 3)
+  kRdSendRecv,     // over the reliable-datagram layer
+  kRdWriteRecord,
+};
+
+const char* mode_name(Mode m);
+bool is_rc(Mode m);
+
+struct Options {
+  double loss_rate = 0.0;   // Bernoulli drop on the data direction
+  u64 seed = 0xC0FFEE;
+  bool mpa_markers = true;  // RC framing
+  bool mpa_crc = true;
+  bool ud_crc = true;
+  std::size_t max_ud_payload = 65'507;  // per-datagram budget (MTU ablation)
+  TimeNs ud_message_timeout = 20 * kMillisecond;
+};
+
+struct LatencyResult {
+  double half_rtt_us = 0.0;  // the paper's "latency": one-way = RTT/2
+  int iterations = 0;
+};
+
+/// Ping-pong latency for `msg_size`-byte messages.
+LatencyResult measure_latency(Mode mode, std::size_t msg_size, int iterations,
+                              const Options& opts = {});
+
+struct BandwidthResult {
+  double goodput_MBps = 0.0;    // delivered payload bytes / elapsed
+  double delivered_frac = 0.0;  // fraction of sent payload that completed
+  std::size_t messages_sent = 0;
+  std::size_t messages_completed = 0;  // fully (S/R) or partially (WR) valid
+};
+
+/// Unidirectional bandwidth: `messages` back-to-back messages of
+/// `msg_size`; goodput measured at the receiver.
+BandwidthResult measure_bandwidth(Mode mode, std::size_t msg_size,
+                                  std::size_t messages,
+                                  const Options& opts = {});
+
+/// Message count giving ~`budget_bytes` of traffic, clamped to [4, 4000].
+std::size_t default_message_count(std::size_t msg_size,
+                                  std::size_t budget_bytes = 32 * MiB);
+
+}  // namespace dgiwarp::perf

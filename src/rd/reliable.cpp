@@ -1,0 +1,158 @@
+#include "rd/reliable.hpp"
+
+#include "common/log.hpp"
+
+namespace dgiwarp::rd {
+
+namespace {
+constexpr u8 kTypeData = 1;
+constexpr u8 kTypeAck = 2;
+}  // namespace
+
+ReliableDatagram::ReliableDatagram(host::HostCtx& ctx,
+                                   host::UdpSocket& socket, RdConfig config)
+    : ctx_(ctx), socket_(socket), config_(config) {
+  socket_.set_handler(
+      [this](Endpoint src, Bytes data) { on_raw(src, std::move(data)); });
+}
+
+Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
+  if (payload.total_size() + kHeaderBytes > host::kMaxUdpPayload)
+    return Status(Errc::kInvalidArgument, "RD datagram too large");
+
+  PeerTx& tx = tx_[dst];
+  const u64 seq = tx.next_seq++;
+
+  Bytes wire;
+  wire.reserve(kHeaderBytes + payload.total_size());
+  WireWriter w(wire);
+  w.u8be(kTypeData);
+  w.u64be(seq);
+  w.u32be(0);  // reserved / future cumulative-ack piggyback
+  const std::size_t at = wire.size();
+  wire.resize(at + payload.total_size());
+  payload.copy_out(0, ByteSpan{wire}.subspan(at));
+
+  if (tx.unacked.size() >= config_.window) {
+    tx.queued.emplace_back(seq, std::move(wire));
+    return Status::Ok();
+  }
+  tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0});
+  transmit(dst, seq, tx);
+  return Status::Ok();
+}
+
+void ReliableDatagram::transmit(Endpoint dst, u64 seq, PeerTx& tx) {
+  auto it = tx.unacked.find(seq);
+  if (it == tx.unacked.end()) return;
+  ctx_.cpu.charge(ctx_.costs.rd_tx_fixed);
+  ++stats_.data_tx;
+  if (it->second.retries > 0) ++stats_.retransmits;
+  (void)socket_.send_to(dst, ConstByteSpan{it->second.wire});
+  arm_timer(dst, seq);
+}
+
+void ReliableDatagram::arm_timer(Endpoint dst, u64 seq) {
+  auto& tx = tx_[dst];
+  auto it = tx.unacked.find(seq);
+  if (it == tx.unacked.end()) return;
+  const u64 gen = ++timer_counter_;
+  it->second.timer_gen = gen;
+  ctx_.sim.at(ctx_.sim.now() + config_.rto, [this, dst, seq, gen] {
+    auto peer = tx_.find(dst);
+    if (peer == tx_.end()) return;
+    auto p = peer->second.unacked.find(seq);
+    if (p == peer->second.unacked.end() || p->second.timer_gen != gen) return;
+    if (++p->second.retries > config_.max_retries) {
+      ++stats_.give_ups;
+      peer->second.unacked.erase(p);
+      DGI_WARN("rd", "giving up on seq %llu to %u:%u",
+               static_cast<unsigned long long>(seq), dst.ip, dst.port);
+      if (on_failure_) on_failure_(dst, seq);
+      pump_queue(dst, peer->second);
+      return;
+    }
+    transmit(dst, seq, peer->second);
+  });
+}
+
+void ReliableDatagram::send_ack(Endpoint dst, u64 seq) {
+  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+  Bytes wire;
+  WireWriter w(wire);
+  w.u8be(kTypeAck);
+  w.u64be(seq);
+  w.u32be(0);
+  ++stats_.acks_tx;
+  (void)socket_.send_to(dst, ConstByteSpan{wire});
+}
+
+void ReliableDatagram::pump_queue(Endpoint dst, PeerTx& tx) {
+  while (!tx.queued.empty() && tx.unacked.size() < config_.window) {
+    auto [seq, wire] = std::move(tx.queued.front());
+    tx.queued.pop_front();
+    tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0});
+    transmit(dst, seq, tx);
+  }
+}
+
+void ReliableDatagram::on_raw(Endpoint src, Bytes data) {
+  WireReader r(ConstByteSpan{data});
+  const u8 type = r.u8be();
+  const u64 seq = r.u64be();
+  r.u32be();
+  if (!r.ok()) return;
+
+  if (type == kTypeAck) {
+    ++stats_.acks_rx;
+    ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+    auto peer = tx_.find(src);
+    if (peer == tx_.end()) return;
+    peer->second.unacked.erase(seq);
+    pump_queue(src, peer->second);
+    return;
+  }
+  if (type != kTypeData) return;
+
+  ctx_.cpu.charge(ctx_.costs.rd_rx_fixed);
+  ++stats_.data_rx;
+  send_ack(src, seq);  // ACK even duplicates (the original ACK may be lost)
+
+  PeerRx& rx = rx_[src];
+  rx.highest_seen = std::max(rx.highest_seen, seq);
+
+  ConstByteSpan body = r.rest();
+  if (!config_.ordered) {
+    // Unordered mode: dedupe on the per-sequence seen-set (a watermark
+    // would misclassify late retransmissions of skipped sequences).
+    if (!rx.ooo.emplace(seq, Bytes{}).second) {
+      ++stats_.duplicates;
+      return;
+    }
+    if (handler_) handler_(src, Bytes(body.begin(), body.end()));
+    return;
+  }
+
+  if (seq < rx.next_expected || rx.ooo.contains(seq)) {
+    ++stats_.duplicates;
+    return;
+  }
+
+  rx.ooo.emplace(seq, Bytes(body.begin(), body.end()));
+  while (true) {
+    auto it = rx.ooo.find(rx.next_expected);
+    if (it == rx.ooo.end()) break;
+    Bytes payload = std::move(it->second);
+    rx.ooo.erase(it);
+    ++rx.next_expected;
+    if (handler_) handler_(src, std::move(payload));
+  }
+}
+
+std::size_t ReliableDatagram::unacked() const {
+  std::size_t n = 0;
+  for (const auto& [_, tx] : tx_) n += tx.unacked.size();
+  return n;
+}
+
+}  // namespace dgiwarp::rd

@@ -1,0 +1,100 @@
+// Reliable Datagram (RD) service: the paper's "reliable UDP" option.
+//
+// Applications that cannot tolerate loss (paper §IV.B: "can be supplemented
+// by a reliability mechanism (like reliable UDP)") run their UD QPs over
+// this layer. It preserves datagram boundaries while adding, per peer:
+// sequencing, positive ACKs with retransmission, duplicate suppression and
+// (optionally) in-order delivery. Unlike TCP there is no connection state
+// handshake and no byte-stream coupling — a single RD endpoint serves any
+// number of peers, keeping the connectionless scalability story intact.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "hoststack/udp.hpp"
+
+namespace dgiwarp::rd {
+
+using host::Endpoint;
+
+struct RdConfig {
+  TimeNs rto = 400 * kMicrosecond;  // retransmit timeout
+  int max_retries = 12;             // then the datagram is reported lost
+  std::size_t window = 64;          // max unacked datagrams per peer
+  bool ordered = true;              // deliver in send order per peer
+};
+
+struct RdStats {
+  u64 data_tx = 0;
+  u64 data_rx = 0;
+  u64 retransmits = 0;
+  u64 duplicates = 0;
+  u64 acks_tx = 0;
+  u64 acks_rx = 0;
+  u64 give_ups = 0;  // datagrams dropped after max_retries
+};
+
+/// Wraps a UdpSocket with reliability. The socket's receive handler is
+/// taken over by this layer; consumers subscribe via on_datagram().
+class ReliableDatagram {
+ public:
+  using DatagramHandler = std::function<void(Endpoint, Bytes)>;
+  /// Notified when a datagram is abandoned after max_retries.
+  using FailureHandler = std::function<void(Endpoint, u64 seq)>;
+
+  ReliableDatagram(host::HostCtx& ctx, host::UdpSocket& socket,
+                   RdConfig config = {});
+
+  void on_datagram(DatagramHandler h) { handler_ = std::move(h); }
+  void on_failure(FailureHandler h) { on_failure_ = std::move(h); }
+
+  /// Send one datagram reliably. Queues beyond the window; fails only if
+  /// the payload exceeds the UDP limit (minus the RD header).
+  Status send_to(Endpoint dst, const GatherList& payload);
+  Status send_to(Endpoint dst, ConstByteSpan payload) {
+    return send_to(dst, GatherList(payload));
+  }
+
+  /// Datagrams accepted but not yet acknowledged (all peers).
+  std::size_t unacked() const;
+
+  const RdStats& stats() const { return stats_; }
+  static constexpr std::size_t kHeaderBytes = 13;  // type+seq+ack
+
+ private:
+  struct Pending {
+    Bytes wire;     // full RD packet, ready for retransmission
+    int retries = 0;
+    u64 timer_gen = 0;
+  };
+  struct PeerTx {
+    u64 next_seq = 1;
+    std::map<u64, Pending> unacked;
+    std::deque<std::pair<u64, Bytes>> queued;  // waiting for window space
+  };
+  struct PeerRx {
+    u64 next_expected = 1;
+    std::map<u64, Bytes> ooo;
+    u64 highest_seen = 0;
+  };
+
+  void on_raw(Endpoint src, Bytes data);
+  void transmit(Endpoint dst, u64 seq, PeerTx& tx);
+  void arm_timer(Endpoint dst, u64 seq);
+  void send_ack(Endpoint dst, u64 seq);
+  void pump_queue(Endpoint dst, PeerTx& tx);
+
+  host::HostCtx& ctx_;
+  host::UdpSocket& socket_;
+  RdConfig config_;
+  DatagramHandler handler_;
+  FailureHandler on_failure_;
+  std::map<Endpoint, PeerTx> tx_;
+  std::map<Endpoint, PeerRx> rx_;
+  RdStats stats_;
+  u64 timer_counter_ = 0;
+};
+
+}  // namespace dgiwarp::rd

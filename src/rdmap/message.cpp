@@ -1,0 +1,80 @@
+#include "rdmap/message.hpp"
+
+namespace dgiwarp::rdmap {
+
+bool is_tagged(Opcode op) {
+  switch (op) {
+    case Opcode::kWrite:
+    case Opcode::kReadResponse:
+    case Opcode::kWriteRecord:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ddp::Queue untagged_queue(Opcode op) {
+  switch (op) {
+    case Opcode::kReadRequest:
+      return ddp::Queue::kReadRequest;
+    case Opcode::kTerminate:
+      return ddp::Queue::kTerminate;
+    default:
+      return ddp::Queue::kSend;
+  }
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kWrite: return "RDMA_WRITE";
+    case Opcode::kReadRequest: return "READ_REQUEST";
+    case Opcode::kReadResponse: return "READ_RESPONSE";
+    case Opcode::kSend: return "SEND";
+    case Opcode::kSendInvalidate: return "SEND_INVALIDATE";
+    case Opcode::kSendSE: return "SEND_SE";
+    case Opcode::kTerminate: return "TERMINATE";
+    case Opcode::kWriteRecord: return "WRITE_RECORD";
+  }
+  return "UNKNOWN";
+}
+
+Result<Opcode> parse_opcode(u8 raw) {
+  switch (raw) {
+    case 0x0: return Opcode::kWrite;
+    case 0x1: return Opcode::kReadRequest;
+    case 0x2: return Opcode::kReadResponse;
+    case 0x3: return Opcode::kSend;
+    case 0x4: return Opcode::kSendInvalidate;
+    case 0x5: return Opcode::kSendSE;
+    case 0x6: return Opcode::kTerminate;
+    case 0x8: return Opcode::kWriteRecord;
+    default:
+      return Status(Errc::kProtocolError, "unknown RDMAP opcode");
+  }
+}
+
+Bytes ReadRequestPayload::serialize() const {
+  Bytes out;
+  WireWriter w(out);
+  w.u32be(sink_stag);
+  w.u64be(sink_to);
+  w.u32be(src_stag);
+  w.u64be(src_to);
+  w.u32be(length);
+  return out;
+}
+
+Result<ReadRequestPayload> ReadRequestPayload::parse(ConstByteSpan data) {
+  WireReader r(data);
+  ReadRequestPayload p;
+  p.sink_stag = r.u32be();
+  p.sink_to = r.u64be();
+  p.src_stag = r.u32be();
+  p.src_to = r.u64be();
+  p.length = r.u32be();
+  if (!r.ok())
+    return Status(Errc::kProtocolError, "short read-request payload");
+  return p;
+}
+
+}  // namespace dgiwarp::rdmap

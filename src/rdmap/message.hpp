@@ -1,0 +1,51 @@
+// RDMAP opcodes and opcode -> DDP-model mapping.
+//
+// Opcodes 0-6 follow RFC 5040. kWriteRecord (0x8) is the paper's new
+// one-sided operation for unreliable datagrams: tagged like RDMA Write, but
+// the *target* records each arriving chunk in its completion queue instead
+// of relying on in-order reliable delivery plus a trailing Send for
+// notification (paper §IV.B.3, Figure 3).
+#pragma once
+
+#include "common/status.hpp"
+#include "ddp/header.hpp"
+
+namespace dgiwarp::rdmap {
+
+enum class Opcode : u8 {
+  kWrite = 0x0,
+  kReadRequest = 0x1,
+  kReadResponse = 0x2,
+  kSend = 0x3,
+  kSendInvalidate = 0x4,  // defined for completeness; unused by the stack
+  kSendSE = 0x5,
+  kTerminate = 0x6,
+  kWriteRecord = 0x8,     // datagram-iWARP extension (this paper)
+};
+
+/// True if the opcode uses the tagged DDP model (placement via STag).
+bool is_tagged(Opcode op);
+
+/// The untagged queue an opcode travels on (only for untagged opcodes).
+ddp::Queue untagged_queue(Opcode op);
+
+/// Human-readable opcode name for logs and traces.
+const char* opcode_name(Opcode op);
+
+/// Validate an opcode received from the wire.
+Result<Opcode> parse_opcode(u8 raw);
+
+/// Payload of an RDMA Read Request (travels untagged on QN1): where the
+/// responder must write the response (sink) and what to read (source).
+struct ReadRequestPayload {
+  u32 sink_stag = 0;
+  u64 sink_to = 0;
+  u32 src_stag = 0;
+  u64 src_to = 0;
+  u32 length = 0;
+
+  Bytes serialize() const;
+  static Result<ReadRequestPayload> parse(ConstByteSpan data);
+};
+
+}  // namespace dgiwarp::rdmap

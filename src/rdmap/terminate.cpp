@@ -1,0 +1,28 @@
+#include "rdmap/terminate.hpp"
+
+namespace dgiwarp::rdmap {
+
+Bytes TerminateMessage::serialize() const {
+  Bytes out;
+  WireWriter w(out);
+  w.u8be(static_cast<u8>(layer));
+  w.u8be(error_code);
+  w.u16be(0);
+  w.u32be(context);
+  return out;
+}
+
+Result<TerminateMessage> TerminateMessage::parse(ConstByteSpan data) {
+  WireReader r(data);
+  TerminateMessage t;
+  const u8 layer = r.u8be();
+  t.error_code = r.u8be();
+  r.u16be();
+  t.context = r.u32be();
+  if (!r.ok()) return Status(Errc::kProtocolError, "short terminate message");
+  if (layer > 2) return Status(Errc::kProtocolError, "bad terminate layer");
+  t.layer = static_cast<TermLayer>(layer);
+  return t;
+}
+
+}  // namespace dgiwarp::rdmap

@@ -1,0 +1,35 @@
+// Terminate messages: RDMAP's in-band error reporting.
+//
+// Per the paper's relaxed error rules (§IV.B items 2-3): on a reliable
+// (RC) connection a Terminate moves the QP to the Error state and tears the
+// stream down; on a datagram (UD) QP errors are only *reported* — the QP
+// stays usable, because loss is an expected event, not a failure.
+#pragma once
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+
+namespace dgiwarp::rdmap {
+
+enum class TermLayer : u8 { kRdmap = 0, kDdp = 1, kLlp = 2 };
+
+struct TerminateMessage {
+  TermLayer layer = TermLayer::kRdmap;
+  u8 error_code = 0;
+  u32 context = 0;  // e.g. offending MSN or STag
+
+  Bytes serialize() const;
+  static Result<TerminateMessage> parse(ConstByteSpan data);
+};
+
+/// Error codes carried in Terminate messages.
+enum class TermError : u8 {
+  kInvalidStag = 1,
+  kBaseBoundsViolation = 2,
+  kAccessViolation = 3,
+  kInvalidOpcode = 4,
+  kCatastrophic = 5,
+  kBufferTooSmall = 6,
+};
+
+}  // namespace dgiwarp::rdmap

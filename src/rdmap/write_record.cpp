@@ -1,0 +1,114 @@
+#include "rdmap/write_record.hpp"
+
+#include <algorithm>
+
+namespace dgiwarp::rdmap {
+
+void ValidityMap::add(u32 offset, u32 length) {
+  if (length == 0) return;
+  u32 begin = offset;
+  u32 end = offset + length;
+  std::vector<Range> out;
+  out.reserve(ranges_.size() + 1);
+  bool inserted = false;
+  for (const Range& r : ranges_) {
+    const u32 r_end = r.offset + r.length;
+    if (r_end < begin || r.offset > end) {
+      if (!inserted && r.offset > end) {
+        out.push_back(Range{begin, end - begin});
+        inserted = true;
+      }
+      out.push_back(r);
+    } else {
+      begin = std::min(begin, r.offset);
+      end = std::max(end, r_end);
+    }
+  }
+  if (!inserted) out.push_back(Range{begin, end - begin});
+  std::sort(out.begin(), out.end(), [](const Range& a, const Range& b) {
+    return a.offset < b.offset;
+  });
+  ranges_ = std::move(out);
+}
+
+std::size_t ValidityMap::valid_bytes() const {
+  std::size_t total = 0;
+  for (const Range& r : ranges_) total += r.length;
+  return total;
+}
+
+bool ValidityMap::complete(u32 msg_len) const {
+  return ranges_.size() == 1 && ranges_[0].offset == 0 &&
+         ranges_[0].length >= msg_len;
+}
+
+double ValidityMap::coverage(u32 msg_len) const {
+  if (msg_len == 0) return 1.0;
+  return static_cast<double>(valid_bytes()) / static_cast<double>(msg_len);
+}
+
+WriteRecordLog::ChunkResult WriteRecordLog::record_chunk(
+    u32 src_ip, u32 src_qpn, u32 msg_id, u32 stag, u64 to, u32 mo, u32 len,
+    u32 msg_len, bool last, TimeNs deadline) {
+  const Key key{src_ip, src_qpn, msg_id};
+  ChunkResult res;
+
+  if (recently_completed_.contains(key)) {
+    ++late_chunks_;
+    res.late = true;
+    return res;
+  }
+
+  auto [it, inserted] = records_.try_emplace(key);
+  Record& rec = it->second;
+  if (inserted) {
+    rec.c.src_qpn = src_qpn;
+    rec.c.msg_id = msg_id;
+    rec.c.stag = stag;
+    rec.c.base_to = to - mo;
+    rec.c.msg_len = msg_len;
+    rec.deadline = deadline;
+  }
+  rec.c.validity.add(mo, len);
+
+  if (last) {
+    rec.c.last_seen = true;
+    completed_.push_back(std::move(rec.c));
+    recently_completed_.emplace(key, rec.deadline);
+    records_.erase(it);
+    res.message_completed = true;
+  }
+  return res;
+}
+
+Result<WriteRecordCompletion> WriteRecordLog::take_completed() {
+  if (completed_.empty())
+    return Status(Errc::kNotFound, "no completed write-record");
+  WriteRecordCompletion c = std::move(completed_.front());
+  completed_.erase(completed_.begin());
+  return c;
+}
+
+std::vector<WriteRecordCompletion> WriteRecordLog::expire_before(TimeNs now) {
+  std::vector<WriteRecordCompletion> out;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.deadline <= now) {
+      out.push_back(std::move(it->second.c));
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Also forget stale late-chunk guards.
+  for (auto it = recently_completed_.begin();
+       it != recently_completed_.end();) {
+    if (it->second <= now) {
+      it = recently_completed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace dgiwarp::rdmap

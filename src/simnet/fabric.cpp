@@ -1,0 +1,28 @@
+#include "simnet/fabric.hpp"
+
+namespace dgiwarp::sim {
+
+Fabric::Fabric() : Fabric(Params{}) {}
+
+Fabric::Fabric(Params params) : params_(params), rng_(params.seed) {
+  switch_ = std::make_unique<Switch>(sim_, rng_, params_.switch_latency,
+                                     "switch0");
+}
+
+std::size_t Fabric::add_host(const std::string& name) {
+  const std::size_t index = nics_.size();
+  const LinkAddr addr = static_cast<LinkAddr>(index + 1);
+  nics_.push_back(std::make_unique<Nic>(addr, name));
+  switch_->attach(*nics_.back(), params_.link);
+  return index;
+}
+
+void Fabric::set_egress_faults(std::size_t host, Faults f) {
+  switch_->uplink(host).set_faults(std::move(f));
+}
+
+void Fabric::set_ingress_faults(std::size_t host, Faults f) {
+  switch_->downlink(host).set_faults(std::move(f));
+}
+
+}  // namespace dgiwarp::sim

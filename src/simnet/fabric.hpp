@@ -1,0 +1,54 @@
+// Fabric: convenience builder for the experiment topologies.
+//
+// The standard topology is the paper's: N hosts, one 10GE switch, one cable
+// per host. Hosts are created with an address (1-based) and a NIC; the
+// hoststack layers on top of the NIC.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simnet/switch.hpp"
+
+namespace dgiwarp::sim {
+
+class Fabric {
+ public:
+  struct Params {
+    LinkParams link;                 // 10 Gb/s, 300 ns by default
+    TimeNs switch_latency = 500;     // cut-through forwarding latency
+    u64 seed = 0xD6E8FEB86659FD93ull;
+  };
+
+  explicit Fabric(Params params);
+  Fabric();  // default parameters (10GE, 500 ns switch)
+
+  Simulation& sim() { return sim_; }
+  Rng& rng() { return rng_; }
+
+  /// Add a host; returns its index. The host's link address is index + 1.
+  std::size_t add_host(const std::string& name);
+
+  Nic& nic(std::size_t host) { return *nics_[host]; }
+  LinkAddr addr(std::size_t host) const { return nics_[host]->addr(); }
+  std::size_t hosts() const { return nics_.size(); }
+
+  /// Inject faults on the host->switch direction for `host` (the analogue
+  /// of the paper's tc egress drop on the sender).
+  void set_egress_faults(std::size_t host, Faults f);
+  /// Inject faults on the switch->host direction (receiver-side drop).
+  void set_ingress_faults(std::size_t host, Faults f);
+
+  Switch& fabric_switch() { return *switch_; }
+
+ private:
+  Params params_;
+  Simulation sim_;
+  Rng rng_;
+  std::unique_ptr<Switch> switch_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace dgiwarp::sim

@@ -1,0 +1,10 @@
+#include "simnet/faults.hpp"
+
+// Loss models are header-only today; this TU anchors the vtable.
+
+namespace dgiwarp::sim {
+
+// Key function anchor.
+LossModel::~LossModel() = default;
+
+}  // namespace dgiwarp::sim

@@ -1,0 +1,104 @@
+// Fault injection models applied per link direction.
+//
+// The paper used Linux `tc` to drop packets at fixed rates (Figures 7-8);
+// BernoulliLoss reproduces that. GilbertElliott adds bursty WAN-style loss
+// and PeriodicLoss gives tests deterministic drop positions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dgiwarp::sim {
+
+/// Decides the fate of each frame traversing a link direction.
+class LossModel {
+ public:
+  virtual ~LossModel();
+  /// True if the frame should be dropped.
+  virtual bool should_drop(Rng& rng) = 0;
+};
+
+/// Never drops (default).
+class NoLoss final : public LossModel {
+ public:
+  bool should_drop(Rng&) override { return false; }
+};
+
+/// Independent drop with probability `p` — equivalent of `tc ... loss p%`.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  bool should_drop(Rng& rng) override { return rng.chance(p_); }
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert-Elliott burst loss: Good state drops with p_good,
+/// Bad state with p_bad; transitions g->b / b->g per frame.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_g2b, double p_b2g, double p_good, double p_bad)
+      : p_g2b_(p_g2b), p_b2g_(p_b2g), p_good_(p_good), p_bad_(p_bad) {}
+
+  bool should_drop(Rng& rng) override {
+    if (bad_) {
+      if (rng.chance(p_b2g_)) bad_ = false;
+    } else {
+      if (rng.chance(p_g2b_)) bad_ = true;
+    }
+    return rng.chance(bad_ ? p_bad_ : p_good_);
+  }
+
+ private:
+  double p_g2b_, p_b2g_, p_good_, p_bad_;
+  bool bad_ = false;
+};
+
+/// Drops every `n`-th frame (1-indexed): deterministic for unit tests.
+class PeriodicLoss final : public LossModel {
+ public:
+  explicit PeriodicLoss(u64 n) : n_(n) {}
+  bool should_drop(Rng&) override { return n_ != 0 && (++count_ % n_) == 0; }
+
+ private:
+  u64 n_;
+  u64 count_ = 0;
+};
+
+/// Drops exactly the frames whose (1-indexed) ordinal is in `ordinals`.
+class TargetedLoss final : public LossModel {
+ public:
+  explicit TargetedLoss(std::vector<u64> ordinals)
+      : ordinals_(std::move(ordinals)) {}
+  bool should_drop(Rng&) override {
+    ++count_;
+    for (u64 o : ordinals_)
+      if (o == count_) return true;
+    return false;
+  }
+
+ private:
+  std::vector<u64> ordinals_;
+  u64 count_ = 0;
+};
+
+/// Full fault configuration for one link direction.
+struct Faults {
+  std::unique_ptr<LossModel> loss;  // null => no loss
+  double reorder_rate = 0.0;        // probability a frame is delayed extra
+  TimeNs reorder_delay = 0;         // extra delay applied to reordered frames
+  TimeNs jitter = 0;                // uniform [0, jitter) added per frame
+
+  static Faults none() { return {}; }
+  static Faults bernoulli(double p) {
+    Faults f;
+    f.loss = std::make_unique<BernoulliLoss>(p);
+    return f;
+  }
+};
+
+}  // namespace dgiwarp::sim

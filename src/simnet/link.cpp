@@ -1,0 +1,44 @@
+#include "simnet/link.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace dgiwarp::sim {
+
+Link::Link(Simulation& sim, Rng& rng, LinkParams params, std::string name)
+    : sim_(sim), rng_(rng), params_(params), name_(std::move(name)) {}
+
+TimeNs Link::serialization_delay(std::size_t wire_bytes) const {
+  const double bits = static_cast<double>(wire_bytes) * 8.0;
+  return static_cast<TimeNs>(bits / params_.bandwidth_bps * 1e9);
+}
+
+void Link::transmit(Frame f) {
+  ++stats_.frames_offered;
+
+  // Output queueing: serialization starts when the link frees up.
+  const TimeNs start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+  const TimeNs tx_done = start + serialization_delay(f.wire_bytes());
+  busy_until_ = tx_done;
+
+  if (faults_.loss && faults_.loss->should_drop(rng_)) {
+    ++stats_.frames_dropped;
+    DGI_TRACE("link", "%s dropped frame id=%llu (%zu B)", name_.c_str(),
+              static_cast<unsigned long long>(f.id), f.payload.size());
+    return;  // the wire time is still consumed; the bits just die
+  }
+
+  TimeNs arrive = tx_done + params_.propagation;
+  if (faults_.jitter > 0) arrive += rng_.range(0, faults_.jitter - 1);
+  if (faults_.reorder_rate > 0.0 && rng_.chance(faults_.reorder_rate))
+    arrive += faults_.reorder_delay;
+
+  sim_.at(arrive, [this, fr = std::move(f)]() mutable {
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += fr.payload.size();
+    if (rx_) rx_(std::move(fr));
+  });
+}
+
+}  // namespace dgiwarp::sim

@@ -1,0 +1,59 @@
+// Unidirectional link with serialization delay, propagation delay, and
+// fault injection. Two of these form a full-duplex cable.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "simnet/faults.hpp"
+#include "simnet/packet.hpp"
+#include "simnet/simulation.hpp"
+
+namespace dgiwarp::sim {
+
+struct LinkParams {
+  double bandwidth_bps = 10e9;  // 10GE, matching the paper's testbed
+  TimeNs propagation = 300;     // ~60 m of fibre + PHY
+};
+
+struct LinkStats {
+  u64 frames_offered = 0;
+  u64 frames_dropped = 0;
+  u64 frames_delivered = 0;
+  u64 bytes_delivered = 0;
+};
+
+class Link {
+ public:
+  using Receiver = std::function<void(Frame)>;
+
+  Link(Simulation& sim, Rng& rng, LinkParams params, std::string name);
+
+  void set_receiver(Receiver rx) { rx_ = std::move(rx); }
+  void set_faults(Faults f) { faults_ = std::move(f); }
+
+  /// Queue a frame for transmission. Serialization begins when the link is
+  /// free (output queueing), then the frame propagates, possibly dropped,
+  /// jittered or reordered by the fault model, and is handed to the
+  /// receiver callback.
+  void transmit(Frame f);
+
+  /// Virtual time needed to serialize `wire_bytes` onto this link.
+  TimeNs serialization_delay(std::size_t wire_bytes) const;
+
+  const LinkStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulation& sim_;
+  Rng& rng_;
+  LinkParams params_;
+  std::string name_;
+  Receiver rx_;
+  Faults faults_;
+  TimeNs busy_until_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace dgiwarp::sim

@@ -1,0 +1,21 @@
+#include "simnet/nic.hpp"
+
+#include "common/log.hpp"
+
+namespace dgiwarp::sim {
+
+void Nic::send(Frame f) {
+  if (!tx_) return;
+  f.src = addr_;
+  if (f.id == 0) f.id = next_frame_id_++;
+  ++tx_frames_;
+  tx_->transmit(std::move(f));
+}
+
+void Nic::deliver(Frame f) {
+  if (f.dst != addr_ && f.dst != kBroadcast) return;  // not for us
+  ++rx_frames_;
+  if (rx_) rx_(std::move(f));
+}
+
+}  // namespace dgiwarp::sim

@@ -1,0 +1,46 @@
+// Network interface: the attachment point between a host (or switch port)
+// and a link. Owns the host-visible address and the receive upcall.
+#pragma once
+
+#include <functional>
+
+#include "simnet/link.hpp"
+#include "simnet/packet.hpp"
+
+namespace dgiwarp::sim {
+
+class Nic {
+ public:
+  using RxHandler = std::function<void(Frame)>;
+
+  Nic(LinkAddr addr, std::string name) : addr_(addr), name_(std::move(name)) {}
+
+  LinkAddr addr() const { return addr_; }
+  const std::string& name() const { return name_; }
+
+  /// Wire this NIC's egress to `tx` and register our handler as its peer's
+  /// ingress. Called by the fabric builder.
+  void attach_tx(Link* tx) { tx_ = tx; }
+
+  void set_rx_handler(RxHandler h) { rx_ = std::move(h); }
+
+  /// Transmit a frame (stamps src address and a unique id).
+  void send(Frame f);
+
+  /// Ingress entry point (invoked by the link).
+  void deliver(Frame f);
+
+  u64 tx_frames() const { return tx_frames_; }
+  u64 rx_frames() const { return rx_frames_; }
+
+ private:
+  LinkAddr addr_;
+  std::string name_;
+  Link* tx_ = nullptr;
+  RxHandler rx_;
+  u64 tx_frames_ = 0;
+  u64 rx_frames_ = 0;
+  inline static u64 next_frame_id_ = 1;
+};
+
+}  // namespace dgiwarp::sim

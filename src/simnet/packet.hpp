@@ -1,0 +1,31 @@
+// Link-layer frame carried across the simulated fabric.
+#pragma once
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+
+namespace dgiwarp::sim {
+
+/// Link-layer address. For simplicity the fabric uses the host's IPv4-style
+/// address directly (no ARP); the switch learns them like MACs.
+using LinkAddr = u32;
+
+inline constexpr LinkAddr kBroadcast = 0xFFFFFFFFu;
+
+/// Bytes a frame occupies on the wire beyond its payload: Ethernet header
+/// (14) + FCS (4) + preamble/SFD (8) + inter-frame gap (12).
+inline constexpr std::size_t kEthernetOverhead = 38;
+
+struct Frame {
+  LinkAddr src = 0;
+  LinkAddr dst = 0;
+  u16 proto = 0;  // ethertype-like demux key (kProtoIpv4 in practice)
+  Bytes payload;
+  u64 id = 0;  // unique id for tracing / loss diagnostics
+
+  std::size_t wire_bytes() const { return payload.size() + kEthernetOverhead; }
+};
+
+inline constexpr u16 kProtoIpv4 = 0x0800;
+
+}  // namespace dgiwarp::sim

@@ -1,0 +1,49 @@
+#include "simnet/switch.hpp"
+
+#include <utility>
+
+namespace dgiwarp::sim {
+
+Switch::Switch(Simulation& sim, Rng& rng, TimeNs forwarding_latency,
+               std::string name)
+    : sim_(sim), rng_(rng), latency_(forwarding_latency),
+      name_(std::move(name)) {}
+
+std::size_t Switch::attach(Nic& host, LinkParams params) {
+  const std::size_t port = up_.size();
+  up_.push_back(std::make_unique<Link>(
+      sim_, rng_, params, host.name() + "->" + name_));
+  down_.push_back(std::make_unique<Link>(
+      sim_, rng_, params, name_ + "->" + host.name()));
+
+  host.attach_tx(up_[port].get());
+  up_[port]->set_receiver(
+      [this, port](Frame f) { on_ingress(port, std::move(f)); });
+  down_[port]->set_receiver([&host](Frame f) { host.deliver(std::move(f)); });
+  return port;
+}
+
+void Switch::on_ingress(std::size_t port, Frame f) {
+  fdb_[f.src] = port;  // learn
+
+  auto forward = [this](std::size_t out_port, Frame fr) {
+    sim_.at(sim_.now() + latency_, [this, out_port, fr = std::move(fr)] {
+      down_[out_port]->transmit(fr);
+    });
+  };
+
+  const auto it = fdb_.find(f.dst);
+  if (f.dst != kBroadcast && it != fdb_.end()) {
+    ++forwarded_;
+    forward(it->second, std::move(f));
+    return;
+  }
+  // Unknown destination or broadcast: flood all ports except ingress.
+  ++flooded_;
+  for (std::size_t p = 0; p < down_.size(); ++p) {
+    if (p == port) continue;
+    forward(p, f);
+  }
+}
+
+}  // namespace dgiwarp::sim

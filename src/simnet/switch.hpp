@@ -1,0 +1,49 @@
+// Learning Ethernet switch. The paper's testbed put a Fujitsu 10GE switch
+// between the two hosts; this reproduces its forwarding behaviour (address
+// learning, per-port output queues, fixed forwarding latency).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simnet/link.hpp"
+#include "simnet/nic.hpp"
+
+namespace dgiwarp::sim {
+
+class Switch {
+ public:
+  Switch(Simulation& sim, Rng& rng, TimeNs forwarding_latency,
+         std::string name);
+
+  /// Create a duplex cable between `host` and a fresh switch port.
+  /// Returns the port index.
+  std::size_t attach(Nic& host, LinkParams params);
+
+  /// host -> switch direction of a port's cable (fault injection point for
+  /// "drop at the sender's egress", like the paper's tc setup).
+  Link& uplink(std::size_t port) { return *up_[port]; }
+  /// switch -> host direction.
+  Link& downlink(std::size_t port) { return *down_[port]; }
+
+  std::size_t ports() const { return up_.size(); }
+  u64 frames_forwarded() const { return forwarded_; }
+  u64 frames_flooded() const { return flooded_; }
+
+ private:
+  void on_ingress(std::size_t port, Frame f);
+
+  Simulation& sim_;
+  Rng& rng_;
+  TimeNs latency_;
+  std::string name_;
+  std::vector<std::unique_ptr<Link>> up_;    // host -> switch
+  std::vector<std::unique_ptr<Link>> down_;  // switch -> host
+  std::unordered_map<LinkAddr, std::size_t> fdb_;
+  u64 forwarded_ = 0;
+  u64 flooded_ = 0;
+};
+
+}  // namespace dgiwarp::sim

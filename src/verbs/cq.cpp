@@ -1,0 +1,44 @@
+#include "verbs/cq.hpp"
+
+#include "common/log.hpp"
+
+namespace dgiwarp::verbs {
+
+CompletionQueue::CompletionQueue(host::Host& host, std::size_t capacity)
+    : host_(host), capacity_(capacity) {}
+
+void CompletionQueue::push(Completion c) {
+  if (q_.size() >= capacity_) {
+    ++overruns_;
+    DGI_WARN("cq", "completion queue overrun (capacity %zu)", capacity_);
+    return;
+  }
+  q_.push_back(std::move(c));
+  if (on_event_) on_event_();
+}
+
+std::optional<Completion> CompletionQueue::poll() {
+  host_.cpu().charge(host_.costs().cq_poll_fixed);
+  if (q_.empty()) return std::nullopt;
+  Completion c = std::move(q_.front());
+  q_.pop_front();
+  return c;
+}
+
+std::vector<Completion> CompletionQueue::poll(std::size_t max) {
+  host_.cpu().charge(host_.costs().cq_poll_fixed);
+  std::vector<Completion> out;
+  while (out.size() < max && !q_.empty()) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return out;
+}
+
+std::optional<Completion> CompletionQueue::wait(TimeNs timeout) {
+  const TimeNs deadline = host_.sim().now() + timeout;
+  host_.sim().run_while_pending([this] { return !q_.empty(); }, deadline);
+  return poll();
+}
+
+}  // namespace dgiwarp::verbs

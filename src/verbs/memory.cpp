@@ -1,0 +1,19 @@
+#include "verbs/memory.hpp"
+
+namespace dgiwarp::verbs {
+
+ProtectionDomain::ProtectionDomain(host::Host& host, u32 id)
+    : host_(host), id_(id), mem_(host.ledger_ptr(), "iwarp.pd", 512) {}
+
+MemoryRegion ProtectionDomain::register_memory(ByteSpan region, u32 access) {
+  const ddp::MemoryRegionInfo info = stags_.register_region(region, access);
+  // Registration pins pages and allocates a translation entry; account a
+  // small per-region cost plus a per-page descriptor estimate.
+  host_.ledger().add("iwarp.mr",
+                     64 + static_cast<i64>(region.size() / 4096 + 1) * 8);
+  return MemoryRegion{info.stag, region, access};
+}
+
+Status ProtectionDomain::deregister(u32 stag) { return stags_.invalidate(stag); }
+
+}  // namespace dgiwarp::verbs

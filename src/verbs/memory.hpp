@@ -1,0 +1,45 @@
+// Protection domains and memory registration.
+#pragma once
+
+#include "common/memledger.hpp"
+#include "ddp/stag.hpp"
+#include "hoststack/host.hpp"
+
+namespace dgiwarp::verbs {
+
+using ddp::AccessFlags;
+using ddp::kLocalRead;
+using ddp::kLocalWrite;
+using ddp::kRemoteRead;
+using ddp::kRemoteWrite;
+
+/// Handle for a registered memory region.
+struct MemoryRegion {
+  u32 stag = 0;
+  ByteSpan span;
+  u32 access = 0;
+};
+
+class ProtectionDomain {
+ public:
+  ProtectionDomain(host::Host& host, u32 id);
+
+  /// Register `region`; the memory must outlive the registration. The
+  /// returned STag can be advertised to peers for tagged access.
+  MemoryRegion register_memory(ByteSpan region, u32 access);
+
+  Status deregister(u32 stag);
+
+  u32 id() const { return id_; }
+  const ddp::StagTable& stags() const { return stags_; }
+  ddp::StagTable& stags() { return stags_; }
+  std::size_t registered_regions() const { return stags_.size(); }
+
+ private:
+  host::Host& host_;
+  u32 id_;
+  ddp::StagTable stags_;
+  MemCharge mem_;
+};
+
+}  // namespace dgiwarp::verbs

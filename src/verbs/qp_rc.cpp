@@ -1,0 +1,533 @@
+#include "verbs/qp_rc.hpp"
+
+#include "common/log.hpp"
+#include "ddp/placement.hpp"
+
+namespace dgiwarp::verbs {
+
+namespace {
+
+// MPA connection setup frames (fixed 20 bytes): magic + flags.
+constexpr std::size_t kHandshakeBytes = 20;
+constexpr char kReqMagic[8] = {'M', 'P', 'A', ' ', 'R', 'E', 'Q', '\0'};
+constexpr char kRepMagic[8] = {'M', 'P', 'A', ' ', 'R', 'E', 'P', '\0'};
+
+Bytes make_handshake(bool request, const mpa::MpaConfig& cfg) {
+  Bytes out;
+  const char* magic = request ? kReqMagic : kRepMagic;
+  out.insert(out.end(), magic, magic + 8);
+  WireWriter w(out);
+  w.u8be(static_cast<u8>((cfg.use_markers ? 1 : 0) | (cfg.use_crc ? 2 : 0)));
+  while (out.size() < kHandshakeBytes) w.u8be(0);
+  return out;
+}
+
+WcOpcode wc_of(WrOpcode op) {
+  switch (op) {
+    case WrOpcode::kSend:
+    case WrOpcode::kSendSE: return WcOpcode::kSend;
+    case WrOpcode::kRdmaWrite: return WcOpcode::kRdmaWrite;
+    case WrOpcode::kRdmaRead: return WcOpcode::kRdmaRead;
+    case WrOpcode::kWriteRecord: return WcOpcode::kWriteRecord;
+  }
+  return WcOpcode::kSend;
+}
+
+}  // namespace
+
+RcQueuePair::RcQueuePair(Device& dev, const RcQpAttr& attr)
+    : QueuePair(dev, *attr.pd, *attr.send_cq, *attr.recv_cq, QpType::kRC,
+                dev.alloc_qpn(), "iwarp.rc_qp",
+                dev.host().costs().rc_qp_bytes),
+      mpa_tx_(dev.config().mpa),
+      mpa_rx_(dev.config().mpa) {
+  mpa_rx_.on_ulpdu([this](Bytes ulpdu) { on_ulpdu(std::move(ulpdu)); });
+}
+
+RcQueuePair::~RcQueuePair() {
+  if (sock_ && sock_->state() != host::TcpSocket::State::kClosed)
+    sock_->abort();
+}
+
+void RcQueuePair::on_established(EstablishedHandler h) {
+  on_established_ = std::move(h);
+  if (state_ == QpState::kRts && on_established_) on_established_(Status::Ok());
+}
+
+host::Endpoint RcQueuePair::remote_ep() const {
+  return sock_ ? sock_->remote() : host::Endpoint{};
+}
+
+void RcQueuePair::start_active(host::Endpoint remote) {
+  active_ = true;
+  auto sockr = dev_.host().tcp().connect(remote);
+  if (!sockr.ok()) {
+    set_error(sockr.status());
+    if (on_established_) on_established_(sockr.status());
+    return;
+  }
+  attach_socket(*sockr);
+  auto weak = weak_from_this();
+  sock_->on_connect([weak](Status st) {
+    auto self = weak.lock();
+    if (!self) return;
+    if (!st.ok()) {
+      self->set_error(st);
+      if (self->on_established_) self->on_established_(st);
+      return;
+    }
+    // TCP is up: send the MPA Request and wait for the Reply.
+    Bytes req = make_handshake(true, self->dev_.config().mpa);
+    (void)self->sock_->send(ConstByteSpan{req});
+  });
+}
+
+void RcQueuePair::start_passive(
+    host::TcpSocket::Ptr sock,
+    std::function<void(std::shared_ptr<RcQueuePair>)> ready) {
+  active_ = false;
+  accept_ready_ = std::move(ready);
+  self_hold_ = shared_from_this();
+  attach_socket(std::move(sock));
+}
+
+void RcQueuePair::attach_socket(host::TcpSocket::Ptr sock) {
+  sock_ = std::move(sock);
+  sock_->set_nodelay(true);  // iWARP requirement: FPDUs must not be delayed
+  auto weak = weak_from_this();
+  sock_->on_data([weak](ConstByteSpan data) {
+    if (auto self = weak.lock()) self->on_tcp_data(data);
+  });
+  sock_->on_writable([weak] {
+    if (auto self = weak.lock()) self->drain_tx();
+  });
+  sock_->on_close([weak] {
+    auto self = weak.lock();
+    if (!self) return;
+    if (self->state_ != QpState::kError)
+      self->set_error(Status(Errc::kConnectionReset, "LLP stream closed"));
+  });
+}
+
+void RcQueuePair::on_tcp_data(ConstByteSpan stream) {
+  if (!handshake_done_) {
+    handshake_buf_.insert(handshake_buf_.end(), stream.begin(), stream.end());
+    if (handshake_buf_.size() < kHandshakeBytes) return;
+
+    const char* want = active_ ? kRepMagic : kReqMagic;
+    if (std::memcmp(handshake_buf_.data(), want, 8) != 0) {
+      fatal(Status(Errc::kProtocolError, "bad MPA handshake"));
+      return;
+    }
+    if (!active_) {
+      Bytes rep = make_handshake(false, dev_.config().mpa);
+      (void)sock_->send(ConstByteSpan{rep});
+    }
+    Bytes rest(handshake_buf_.begin() + kHandshakeBytes, handshake_buf_.end());
+    handshake_buf_.clear();
+    on_handshake_complete();
+    if (!rest.empty()) on_tcp_data(ConstByteSpan{rest});
+    return;
+  }
+
+  // Software MPA receive: marker removal + CRC validation over the stream.
+  auto& c = dev_.host().costs();
+  TimeNs cost = 0;
+  if (dev_.config().mpa.use_markers)
+    cost += static_cast<TimeNs>(c.marker_remove_ns_per_byte *
+                                static_cast<double>(stream.size()));
+  if (dev_.config().mpa.use_crc)
+    cost += static_cast<TimeNs>(c.crc_ns_per_byte *
+                                static_cast<double>(stream.size()));
+  dev_.host().cpu().charge(cost);
+
+  const Status st = mpa_rx_.consume(stream);
+  if (!st.ok()) {
+    ++stats_.fpdu_crc_failures;
+    fatal(st);  // MPA stream errors are fatal on RC (paper §IV.B item 2)
+  }
+}
+
+void RcQueuePair::on_handshake_complete() {
+  handshake_done_ = true;
+  state_ = QpState::kRts;
+  if (on_established_) on_established_(Status::Ok());
+  if (accept_ready_) {
+    accept_ready_(shared_from_this());
+    accept_ready_ = nullptr;
+  }
+  self_hold_.reset();  // the application owns the QP now (or it dies)
+  drain_tx();
+}
+
+Status RcQueuePair::post_send(const SendWr& wr) {
+  if (state_ == QpState::kError)
+    return Status(Errc::kInvalidArgument, "QP in error state");
+
+  auto& c = dev_.host().costs();
+  dev_.host().cpu().charge(c.verbs_post_fixed + c.rdmap_op_fixed);
+
+  if (wr.opcode == WrOpcode::kRdmaRead) {
+    rdmap::ReadRequestPayload req;
+    req.sink_stag = 0;
+    req.sink_to = 0;
+    req.src_stag = wr.remote_stag;
+    req.src_to = wr.remote_offset;
+    req.length = wr.read_len;
+    const u32 read_id = next_read_id_++;
+    // The sink buffer must be registered for placement on response arrival.
+    const auto mr = pd_.register_memory(wr.read_sink, kLocalWrite | kRemoteWrite);
+    pending_reads_[read_id] =
+        PendingRead{wr.wr_id, mr.stag, 0, wr.read_len, wr.signaled};
+
+    ddp::SegmentHeader h;
+    h.set_opcode(static_cast<u8>(rdmap::Opcode::kReadRequest));
+    h.set_last(true);
+    h.queue = static_cast<u8>(ddp::Queue::kReadRequest);
+    h.msn = read_id;
+    h.src_qpn = qpn_;
+    const Bytes payload = req.serialize();
+    h.msg_len = static_cast<u32>(payload.size());
+    enqueue_segment(h, ConstByteSpan{payload}, std::nullopt);
+    return Status::Ok();
+  }
+
+  rdmap::Opcode op;
+  bool tagged = false;
+  switch (wr.opcode) {
+    case WrOpcode::kSend: op = rdmap::Opcode::kSend; break;
+    case WrOpcode::kSendSE: op = rdmap::Opcode::kSendSE; break;
+    case WrOpcode::kRdmaWrite:
+      op = rdmap::Opcode::kWrite;
+      tagged = true;
+      break;
+    case WrOpcode::kWriteRecord:
+      op = rdmap::Opcode::kWriteRecord;
+      tagged = true;
+      break;
+    default:
+      return Status(Errc::kUnsupported, "opcode not valid on RC");
+  }
+
+  // MULPDU: the largest DDP segment MPA can frame into one TCP MSS.
+  const std::size_t mulpdu =
+      mpa::max_ulpdu_for(host::kTcpMss, dev_.config().mpa);
+  const std::size_t max_payload = mulpdu - ddp::kHeaderBytes;
+  const auto plan = ddp::plan_segments(wr.local.size(), max_payload);
+  const u32 msn = tagged ? next_read_id_++ : ++tx_msn_;
+
+  for (const auto& seg : plan) {
+    ddp::SegmentHeader h;
+    h.set_opcode(static_cast<u8>(op));
+    h.set_tagged(tagged);
+    h.set_last(seg.last);
+    h.queue = static_cast<u8>(rdmap::untagged_queue(op));
+    h.msn = msn;
+    h.mo = static_cast<u32>(seg.offset);
+    h.msg_len = static_cast<u32>(wr.local.size());
+    h.src_qpn = qpn_;
+    if (tagged) {
+      h.stag = wr.remote_stag;
+      h.to = wr.remote_offset + seg.offset;
+    }
+    std::optional<TxCompletion> done;
+    if (seg.last)
+      done = TxCompletion{wr.wr_id, wc_of(wr.opcode), wr.local.size(),
+                          wr.signaled};
+    enqueue_segment(h, wr.local.subspan(seg.offset, seg.length), done);
+  }
+  return Status::Ok();
+}
+
+void RcQueuePair::enqueue_segment(const ddp::SegmentHeader& h,
+                                  ConstByteSpan payload,
+                                  std::optional<TxCompletion> completes_wr) {
+  auto& c = dev_.host().costs();
+  // Build ULPDU (DDP segment; CRC is MPA's job on this path).
+  Bytes ulpdu = ddp::build_segment(h, payload, /*with_crc=*/false);
+
+  // Software stack cost: segment build (one touch), marker insertion and
+  // FPDU CRC over the framed bytes.
+  TimeNs cost = c.ddp_segment_fixed + c.mpa_frame_fixed +
+                static_cast<TimeNs>(c.touch_ns_per_byte *
+                                    static_cast<double>(payload.size()));
+  if (dev_.config().mpa.use_markers)
+    cost += static_cast<TimeNs>(c.marker_insert_ns_per_byte *
+                                static_cast<double>(ulpdu.size()));
+  if (dev_.config().mpa.use_crc)
+    cost += static_cast<TimeNs>(c.crc_ns_per_byte *
+                                static_cast<double>(ulpdu.size()));
+  dev_.host().cpu().charge(cost);
+
+  ++stats_.segments_tx;
+  const Bytes framed = mpa_tx_.frame(ConstByteSpan{ulpdu});
+  txbuf_.insert(txbuf_.end(), framed.begin(), framed.end());
+  tx_total_abs_ += framed.size();
+  if (completes_wr) tx_marks_.emplace_back(tx_total_abs_, *completes_wr);
+  // Batch the socket write: segments enqueued in the same event (e.g. an
+  // RDMA Write plus its notifying Send) drain with one send() call.
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    auto weak = weak_from_this();
+    dev_.host().sim().after(0, [weak] {
+      if (auto self = weak.lock()) {
+        self->drain_scheduled_ = false;
+        self->drain_tx();
+      }
+    });
+  }
+}
+
+void RcQueuePair::drain_tx() {
+  if (!handshake_done_ || !sock_) return;
+  while (tx_head_ < txbuf_.size()) {
+    const std::size_t n =
+        sock_->send(ConstByteSpan{txbuf_}.subspan(tx_head_));
+    if (n == 0) break;  // socket buffer full; resume on_writable
+    tx_head_ += n;
+    tx_accepted_abs_ += n;
+  }
+  // Fire completions whose whole message has been accepted by the LLP.
+  while (!tx_marks_.empty() && tx_marks_.front().first <= tx_accepted_abs_) {
+    const TxCompletion& done = tx_marks_.front().second;
+    // "Passed to the LLP": the last byte was accepted by the TCP socket.
+    complete_send(done.wr_id, done.op, done.bytes, Status::Ok(),
+                  done.signaled);
+    tx_marks_.pop_front();
+  }
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (tx_head_ > 1 << 20 && tx_head_ > txbuf_.size() / 2) {
+    txbuf_.erase(txbuf_.begin(), txbuf_.begin() + static_cast<long>(tx_head_));
+    tx_head_ = 0;
+  }
+}
+
+void RcQueuePair::on_ulpdu(Bytes ulpdu) {
+  auto& c = dev_.host().costs();
+  dev_.host().cpu().charge(c.ddp_segment_fixed + c.mpa_frame_fixed);
+
+  auto parsed = ddp::parse_segment(ConstByteSpan{ulpdu}, /*with_crc=*/false);
+  if (!parsed.ok()) {
+    fatal(parsed.status());
+    return;
+  }
+  ++stats_.segments_rx;
+  const ddp::ParsedSegment& seg = *parsed;
+  auto opr = rdmap::parse_opcode(seg.header.opcode());
+  if (!opr.ok()) {
+    send_terminate(rdmap::TermError::kInvalidOpcode, seg.header.msn);
+    fatal(opr.status());
+    return;
+  }
+  if (seg.header.tagged()) {
+    handle_tagged(seg, *opr);
+  } else {
+    handle_untagged(seg, *opr);
+  }
+}
+
+void RcQueuePair::handle_untagged(const ddp::ParsedSegment& seg,
+                                  rdmap::Opcode op) {
+  auto& c = dev_.host().costs();
+  switch (op) {
+    case rdmap::Opcode::kSend:
+    case rdmap::Opcode::kSendSE: {
+      if (!active_recv_) {
+        auto wr = take_recv();
+        if (!wr) {
+          // DDP spec: untagged message with no buffer is a fatal stream
+          // error on a reliable LLP.
+          send_terminate(rdmap::TermError::kBufferTooSmall, seg.header.msn);
+          fatal(Status(Errc::kResourceExhausted, "no receive buffer"));
+          return;
+        }
+        if (seg.header.msg_len > wr->buffer.size()) {
+          Completion fail;
+          fail.wr_id = wr->wr_id;
+          fail.status =
+              Status(Errc::kInvalidArgument, "receive buffer too small");
+          fail.opcode = WcOpcode::kRecv;
+          complete_recv(std::move(fail));
+          send_terminate(rdmap::TermError::kBufferTooSmall, seg.header.msn);
+          fatal(Status(Errc::kInvalidArgument, "receive buffer too small"));
+          return;
+        }
+        dev_.host().cpu().charge(c.recv_match_fixed);
+        active_recv_ = ActiveRecv{*wr, seg.header.msn, 0, seg.header.msg_len,
+                                  op == rdmap::Opcode::kSendSE};
+      }
+      ActiveRecv& ar = *active_recv_;
+      dev_.host().cpu().charge(static_cast<TimeNs>(
+          c.touch_ns_per_byte * static_cast<double>(seg.payload.size())));
+      std::memcpy(ar.wr.buffer.data() + seg.header.mo, seg.payload.data(),
+                  seg.payload.size());
+      ar.received += seg.payload.size();
+      if (seg.header.last()) {
+        Completion done;
+        done.wr_id = ar.wr.wr_id;
+        done.opcode = WcOpcode::kRecv;
+        done.byte_len = ar.msg_len;
+        done.src = remote_ep();
+        done.src_qpn = seg.header.src_qpn;
+        done.solicited = ar.solicited;
+        complete_recv(std::move(done));
+        active_recv_.reset();
+      }
+      return;
+    }
+    case rdmap::Opcode::kReadRequest:
+      respond_read(seg);
+      return;
+    case rdmap::Opcode::kTerminate: {
+      ++stats_.terminates_rx;
+      auto term = rdmap::TerminateMessage::parse(seg.payload);
+      fatal(Status(Errc::kProtocolError,
+                   term.ok() ? "peer sent Terminate" : "bad Terminate"));
+      return;
+    }
+    default:
+      send_terminate(rdmap::TermError::kInvalidOpcode, seg.header.msn);
+      fatal(Status(Errc::kProtocolError, "unexpected untagged opcode"));
+      return;
+  }
+}
+
+void RcQueuePair::handle_tagged(const ddp::ParsedSegment& seg,
+                                rdmap::Opcode op) {
+  auto& c = dev_.host().costs();
+  // Tagged placement on the software RC path pays the marker-compaction
+  // penalty (cannot scatter the marker-interrupted payload directly).
+  dev_.host().cpu().charge(static_cast<TimeNs>(
+      (c.touch_ns_per_byte + c.rc_tagged_rx_ns_per_byte) *
+      static_cast<double>(seg.payload.size())));
+
+  switch (op) {
+    case rdmap::Opcode::kWrite: {
+      auto placed = ddp::place_tagged(pd_.stags(), seg.header.stag,
+                                      seg.header.to, seg.payload);
+      if (!placed.ok()) {
+        send_terminate(rdmap::TermError::kBaseBoundsViolation,
+                       seg.header.stag);
+        fatal(placed.status());
+      }
+      return;  // no target-side completion for plain RDMA Write
+    }
+    case rdmap::Opcode::kWriteRecord: {
+      auto placed = ddp::place_tagged(pd_.stags(), seg.header.stag,
+                                      seg.header.to, seg.payload);
+      if (!placed.ok()) {
+        send_terminate(rdmap::TermError::kBaseBoundsViolation,
+                       seg.header.stag);
+        fatal(placed.status());
+        return;
+      }
+      dev_.host().cpu().charge(c.write_record_log_fixed);
+      auto res = wr_log_.record_chunk(
+          remote_ep().ip, seg.header.src_qpn, seg.header.msn, seg.header.stag,
+          seg.header.to, seg.header.mo, static_cast<u32>(seg.payload.size()),
+          seg.header.msg_len, seg.header.last(),
+          dev_.host().sim().now() + dev_.config().ud_message_timeout);
+      if (res.message_completed) {
+        auto rec = wr_log_.take_completed();
+        Completion done;
+        done.opcode = WcOpcode::kRecvWriteRecord;
+        done.byte_len = rec->validity.valid_bytes();
+        done.src = remote_ep();
+        done.src_qpn = rec->src_qpn;
+        done.stag = rec->stag;
+        done.base_to = rec->base_to;
+        done.validity = std::move(rec->validity);
+        complete_recv(std::move(done));
+      }
+      return;
+    }
+    case rdmap::Opcode::kReadResponse: {
+      auto it = pending_reads_.find(seg.header.msn);
+      if (it == pending_reads_.end()) return;
+      PendingRead& pr = it->second;
+      auto placed = ddp::place_tagged(pd_.stags(), pr.sink_stag,
+                                      pr.sink_to + seg.header.mo, seg.payload);
+      if (!placed.ok()) {
+        fatal(placed.status());
+        return;
+      }
+      pr.remaining -= static_cast<u32>(
+          std::min<std::size_t>(pr.remaining, seg.payload.size()));
+      if (pr.remaining == 0) {
+        (void)pd_.deregister(pr.sink_stag);
+        complete_send(pr.wr_id, WcOpcode::kRdmaRead, seg.header.msg_len,
+                      Status::Ok(), pr.signaled);
+        pending_reads_.erase(it);
+      }
+      return;
+    }
+    default:
+      send_terminate(rdmap::TermError::kInvalidOpcode, seg.header.msn);
+      fatal(Status(Errc::kProtocolError, "unexpected tagged opcode"));
+      return;
+  }
+}
+
+void RcQueuePair::respond_read(const ddp::ParsedSegment& seg) {
+  auto req = rdmap::ReadRequestPayload::parse(seg.payload);
+  if (!req.ok()) {
+    fatal(req.status());
+    return;
+  }
+  auto data =
+      ddp::read_tagged(pd_.stags(), req->src_stag, req->src_to, req->length);
+  if (!data.ok()) {
+    send_terminate(rdmap::TermError::kInvalidStag, req->src_stag);
+    fatal(data.status());
+    return;
+  }
+  const std::size_t mulpdu =
+      mpa::max_ulpdu_for(host::kTcpMss, dev_.config().mpa);
+  const auto plan = ddp::plan_segments(req->length, mulpdu - ddp::kHeaderBytes);
+  for (const auto& s : plan) {
+    ddp::SegmentHeader h;
+    h.set_opcode(static_cast<u8>(rdmap::Opcode::kReadResponse));
+    h.set_tagged(true);
+    h.set_last(s.last);
+    h.msn = seg.header.msn;  // read id chosen by the requester
+    h.mo = static_cast<u32>(s.offset);
+    h.msg_len = req->length;
+    h.src_qpn = qpn_;
+    enqueue_segment(h, data->subspan(s.offset, s.length), std::nullopt);
+  }
+}
+
+void RcQueuePair::send_terminate(rdmap::TermError err, u32 context) {
+  if (!handshake_done_ || !sock_) return;
+  rdmap::TerminateMessage t;
+  t.layer = rdmap::TermLayer::kDdp;
+  t.error_code = static_cast<u8>(err);
+  t.context = context;
+  const Bytes payload = t.serialize();
+  ddp::SegmentHeader h;
+  h.set_opcode(static_cast<u8>(rdmap::Opcode::kTerminate));
+  h.set_last(true);
+  h.queue = static_cast<u8>(ddp::Queue::kTerminate);
+  h.msg_len = static_cast<u32>(payload.size());
+  h.src_qpn = qpn_;
+  enqueue_segment(h, ConstByteSpan{payload}, std::nullopt);
+}
+
+void RcQueuePair::fatal(const Status& why) {
+  // RC error rules are the strict standard ones: the stream is torn down
+  // and the QP moves to Error (contrast with UD's relaxed handling).
+  if (state_ == QpState::kError) return;
+  // Guard against self-destruction: self_hold_ may be the last reference
+  // (passive QP failing before the app takes ownership).
+  auto guard = shared_from_this();
+  set_error(why);
+  if (sock_ && sock_->state() != host::TcpSocket::State::kClosed)
+    sock_->abort();
+  self_hold_.reset();
+}
+
+void RcQueuePair::disconnect() {
+  if (sock_) sock_->close();
+}
+
+}  // namespace dgiwarp::verbs

@@ -1,0 +1,467 @@
+#include "verbs/qp_ud.hpp"
+
+#include "common/log.hpp"
+#include "ddp/placement.hpp"
+
+namespace dgiwarp::verbs {
+
+namespace {
+
+rdmap::Opcode to_rdmap(WrOpcode op) {
+  switch (op) {
+    case WrOpcode::kSend: return rdmap::Opcode::kSend;
+    case WrOpcode::kSendSE: return rdmap::Opcode::kSendSE;
+    case WrOpcode::kWriteRecord: return rdmap::Opcode::kWriteRecord;
+    case WrOpcode::kRdmaWrite: return rdmap::Opcode::kWrite;
+    case WrOpcode::kRdmaRead: return rdmap::Opcode::kReadRequest;
+  }
+  return rdmap::Opcode::kSend;
+}
+
+WcOpcode wc_of(WrOpcode op) {
+  switch (op) {
+    case WrOpcode::kSend:
+    case WrOpcode::kSendSE: return WcOpcode::kSend;
+    case WrOpcode::kRdmaWrite: return WcOpcode::kRdmaWrite;
+    case WrOpcode::kRdmaRead: return WcOpcode::kRdmaRead;
+    case WrOpcode::kWriteRecord: return WcOpcode::kWriteRecord;
+  }
+  return WcOpcode::kSend;
+}
+
+}  // namespace
+
+UdQueuePair::UdQueuePair(Device& dev, const UdQpAttr& attr,
+                         host::UdpSocket* socket)
+    : QueuePair(dev, *attr.pd, *attr.send_cq, *attr.recv_cq, QpType::kUD,
+                dev.alloc_qpn(), "iwarp.ud_qp",
+                dev.host().costs().ud_qp_bytes),
+      socket_(socket) {
+  if (attr.reliable) {
+    rd_ = std::make_unique<rd::ReliableDatagram>(dev.host().ctx(), *socket_,
+                                                 dev.config().rd);
+    rd_->on_datagram([this](host::Endpoint src, Bytes data) {
+      on_datagram(src, std::move(data));
+    });
+    rd_->on_failure([this](host::Endpoint, u64) { ++stats_.rd_failures; });
+  } else {
+    socket_->set_handler([this](host::Endpoint src, Bytes data) {
+      on_datagram(src, std::move(data));
+    });
+  }
+  state_ = QpState::kRts;  // datagram QPs need no connection setup
+}
+
+UdQueuePair::~UdQueuePair() {
+  dev_.host().udp().close(socket_);
+  socket_ = nullptr;
+}
+
+u16 UdQueuePair::local_port() const { return socket_->local_port(); }
+
+host::Endpoint UdQueuePair::local_ep() const {
+  return host::Endpoint{dev_.host().addr(), local_port()};
+}
+
+std::size_t UdQueuePair::max_segment_payload() const {
+  std::size_t budget = dev_.config().max_ud_payload;
+  if (rd_) budget -= rd::ReliableDatagram::kHeaderBytes;
+  return ddp::ud_max_segment_payload(budget);
+}
+
+void UdQueuePair::transmit_segment(const host::Endpoint& dst, Bytes segment) {
+  ++stats_.segments_tx;
+  if (rd_) {
+    (void)rd_->send_to(dst, ConstByteSpan{segment});
+  } else {
+    (void)socket_->send_to(dst, ConstByteSpan{segment});
+  }
+}
+
+Status UdQueuePair::post_send(const SendWr& wr) {
+  if (state_ != QpState::kRts)
+    return Status(Errc::kInvalidArgument, "QP not in RTS");
+  if (wr.opcode == WrOpcode::kRdmaWrite)
+    return Status(Errc::kUnsupported,
+                  "plain RDMA Write is undefined over datagrams; "
+                  "use kWriteRecord (paper §IV.B.3)");
+  if (wr.opcode == WrOpcode::kRdmaRead && !dev_.config().enable_ud_read)
+    return Status(Errc::kUnsupported,
+                  "UD RDMA Read is a future-work extension; enable it via "
+                  "DeviceConfig::enable_ud_read");
+  if (wr.local.size() > max_message_size())
+    return Status(Errc::kInvalidArgument, "message too large");
+
+  auto& c = dev_.host().costs();
+  dev_.host().cpu().charge(c.verbs_post_fixed + c.rdmap_op_fixed);
+
+  // RDMA Read (extension): a single untagged request on QN1.
+  if (wr.opcode == WrOpcode::kRdmaRead) {
+    rdmap::ReadRequestPayload req;
+    req.sink_stag = 0;  // sink is identified by read id on the UD path
+    req.sink_to = 0;
+    req.src_stag = wr.remote_stag;
+    req.src_to = wr.remote_offset;
+    req.length = wr.read_len;
+    const u32 read_id = next_msg_id_++;
+    pending_reads_[read_id] = PendingRead{
+        wr.wr_id, wr.read_sink, wr.read_len, wr.signaled,
+        dev_.host().sim().now() + dev_.config().ud_message_timeout};
+    ensure_gc();
+
+    ddp::SegmentHeader h;
+    h.set_opcode(static_cast<u8>(rdmap::Opcode::kReadRequest));
+    h.set_last(true);
+    h.queue = static_cast<u8>(ddp::Queue::kReadRequest);
+    h.msn = read_id;
+    h.src_qpn = qpn_;
+    const Bytes payload = req.serialize();
+    h.msg_len = static_cast<u32>(payload.size());
+    dev_.host().cpu().charge(c.ddp_segment_fixed);
+    transmit_segment(wr.remote.ep,
+                     ddp::build_segment(h, ConstByteSpan{payload},
+                                        dev_.config().ud_crc));
+    // Completion is raised when the response data has been placed.
+    return Status::Ok();
+  }
+
+  const rdmap::Opcode op = to_rdmap(wr.opcode);
+  const bool tagged = rdmap::is_tagged(op);
+  const auto plan = ddp::plan_segments(wr.local.size(), max_segment_payload());
+
+  u32 msn;
+  if (tagged) {
+    msn = next_msg_id_++;  // Write-Record message id
+  } else {
+    msn = ++next_msn_[{wr.remote.ep, wr.remote.qpn}];
+  }
+
+  for (const auto& seg : plan) {
+    ddp::SegmentHeader h;
+    h.set_opcode(static_cast<u8>(op));
+    h.set_tagged(tagged);
+    h.set_last(seg.last);
+    h.queue = static_cast<u8>(rdmap::untagged_queue(op));
+    h.msn = msn;
+    h.mo = static_cast<u32>(seg.offset);
+    h.msg_len = static_cast<u32>(wr.local.size());
+    h.src_qpn = qpn_;
+    if (tagged) {
+      h.stag = wr.remote_stag;
+      h.to = wr.remote_offset + seg.offset;
+    }
+    const ConstByteSpan payload = wr.local.subspan(seg.offset, seg.length);
+    // Stack work: build the segment (one touch of the payload) + CRC.
+    TimeNs cost = c.ddp_segment_fixed +
+                  static_cast<TimeNs>(c.touch_ns_per_byte *
+                                      static_cast<double>(seg.length));
+    if (dev_.config().ud_crc)
+      cost += static_cast<TimeNs>(c.crc_ns_per_byte *
+                                  static_cast<double>(seg.length));
+    dev_.host().cpu().charge(cost);
+    transmit_segment(wr.remote.ep,
+                     ddp::build_segment(h, payload, dev_.config().ud_crc));
+  }
+
+  // "The source completes the operation at the moment that the last bit of
+  // the message is passed to transport layer" (§IV.B.3).
+  complete_send(wr.wr_id, wc_of(wr.opcode), wr.local.size(), Status::Ok(),
+                wr.signaled);
+  return Status::Ok();
+}
+
+void UdQueuePair::on_datagram(host::Endpoint src, Bytes data) {
+  auto& c = dev_.host().costs();
+  TimeNs cost = c.ddp_segment_fixed;
+  if (dev_.config().ud_crc)
+    cost += static_cast<TimeNs>(c.crc_ns_per_byte *
+                                static_cast<double>(data.size()));
+  dev_.host().cpu().charge(cost);
+
+  auto parsed = ddp::parse_segment(ConstByteSpan{data}, dev_.config().ud_crc);
+  if (!parsed.ok()) {
+    if (parsed.code() == Errc::kCrcError) ++stats_.crc_drops;
+    DGI_DEBUG("ud_qp", "segment dropped: %s",
+              parsed.status().to_string().c_str());
+    return;  // reported, QP stays up (paper §IV.B item 2)
+  }
+  ++stats_.segments_rx;
+  const ddp::ParsedSegment& seg = *parsed;
+
+  auto opr = rdmap::parse_opcode(seg.header.opcode());
+  if (!opr.ok()) {
+    send_terminate(src, rdmap::TermError::kInvalidOpcode, seg.header.msn);
+    return;
+  }
+  const rdmap::Opcode op = *opr;
+
+  if (seg.header.tagged()) {
+    switch (op) {
+      case rdmap::Opcode::kWriteRecord:
+        handle_write_record(src, seg);
+        return;
+      case rdmap::Opcode::kReadResponse:
+        handle_read_response(src, seg);
+        return;
+      default:
+        send_terminate(src, rdmap::TermError::kInvalidOpcode, seg.header.msn);
+        return;
+    }
+  }
+
+  switch (op) {
+    case rdmap::Opcode::kSend:
+    case rdmap::Opcode::kSendSE:
+      handle_untagged(src, seg, op);
+      return;
+    case rdmap::Opcode::kReadRequest:
+      handle_read_request(src, seg);
+      return;
+    case rdmap::Opcode::kTerminate: {
+      ++stats_.terminates_rx;
+      auto term = rdmap::TerminateMessage::parse(seg.payload);
+      if (term.ok())
+        DGI_DEBUG("ud_qp", "terminate from peer: layer=%u code=%u ctx=%u",
+                  static_cast<unsigned>(term->layer), term->error_code,
+                  term->context);
+      return;  // UD: report only, no state change (paper §IV.B item 2)
+    }
+    default:
+      send_terminate(src, rdmap::TermError::kInvalidOpcode, seg.header.msn);
+      return;
+  }
+}
+
+void UdQueuePair::handle_untagged(host::Endpoint src,
+                                  const ddp::ParsedSegment& seg,
+                                  rdmap::Opcode op) {
+  auto& c = dev_.host().costs();
+  const ddp::UntaggedKey key{src.ip, src.port, seg.header.src_qpn,
+                             seg.header.msn};
+
+  if (!reasm_.tracking(key)) {
+    auto wr = take_recv();
+    if (!wr) {
+      ++stats_.no_buffer_drops;
+      DGI_DEBUG("ud_qp", "no receive buffer; datagram dropped");
+      return;
+    }
+    if (seg.header.msg_len > wr->buffer.size()) {
+      ++stats_.placement_errors;
+      Completion fail;
+      fail.wr_id = wr->wr_id;
+      fail.status = Status(Errc::kInvalidArgument, "receive buffer too small");
+      fail.opcode = WcOpcode::kRecv;
+      fail.src = src;
+      fail.src_qpn = seg.header.src_qpn;
+      complete_recv(std::move(fail));
+      send_terminate(src, rdmap::TermError::kBufferTooSmall, seg.header.msn);
+      return;
+    }
+    dev_.host().cpu().charge(c.recv_match_fixed);
+    (void)reasm_.begin(key, seg.header.msg_len, wr->buffer, wr->wr_id,
+                       dev_.host().sim().now() + dev_.config().ud_message_timeout);
+    ensure_gc();
+  }
+
+  dev_.host().cpu().charge(static_cast<TimeNs>(
+      c.touch_ns_per_byte * static_cast<double>(seg.payload.size())));
+  auto offer = reasm_.offer(key, seg.header.mo, seg.payload);
+  if (!offer.ok()) {
+    ++stats_.placement_errors;
+    return;
+  }
+  if (offer->completed) {
+    auto cookie = reasm_.complete(key);
+    Completion done;
+    done.wr_id = *cookie;
+    done.opcode = WcOpcode::kRecv;
+    done.byte_len = seg.header.msg_len;
+    done.src = src;
+    done.src_qpn = seg.header.src_qpn;
+    done.solicited = op == rdmap::Opcode::kSendSE;
+    complete_recv(std::move(done));
+  }
+}
+
+void UdQueuePair::handle_write_record(host::Endpoint src,
+                                      const ddp::ParsedSegment& seg) {
+  auto& c = dev_.host().costs();
+  dev_.host().cpu().charge(
+      c.write_record_log_fixed +
+      static_cast<TimeNs>(c.touch_ns_per_byte *
+                          static_cast<double>(seg.payload.size())));
+
+  auto placed = ddp::place_tagged(pd_.stags(), seg.header.stag, seg.header.to,
+                                  seg.payload);
+  if (!placed.ok()) {
+    ++stats_.placement_errors;
+    const auto err = placed.code() == Errc::kAccessDenied
+                         ? rdmap::TermError::kInvalidStag
+                         : rdmap::TermError::kBaseBoundsViolation;
+    send_terminate(src, err, seg.header.stag);
+    return;
+  }
+
+  auto res = wr_log_.record_chunk(
+      src.ip, seg.header.src_qpn, seg.header.msn, seg.header.stag,
+      seg.header.to, seg.header.mo, static_cast<u32>(seg.payload.size()),
+      seg.header.msg_len, seg.header.last(),
+      dev_.host().sim().now() + dev_.config().ud_message_timeout);
+  if (res.late) ++stats_.late_chunks;
+  ensure_gc();
+
+  if (res.message_completed) {
+    auto rec = wr_log_.take_completed();
+    Completion done;
+    done.wr_id = 0;  // no WR was consumed — truly one-sided
+    done.opcode = WcOpcode::kRecvWriteRecord;
+    done.byte_len = rec->validity.valid_bytes();
+    done.src = src;
+    done.src_qpn = rec->src_qpn;
+    done.stag = rec->stag;
+    done.base_to = rec->base_to;
+    done.validity = std::move(rec->validity);
+    complete_recv(std::move(done));
+  }
+}
+
+void UdQueuePair::handle_read_request(host::Endpoint src,
+                                      const ddp::ParsedSegment& seg) {
+  if (!dev_.config().enable_ud_read) {
+    send_terminate(src, rdmap::TermError::kInvalidOpcode, seg.header.msn);
+    return;
+  }
+  auto req = rdmap::ReadRequestPayload::parse(seg.payload);
+  if (!req.ok()) {
+    send_terminate(src, rdmap::TermError::kCatastrophic, seg.header.msn);
+    return;
+  }
+  auto data = ddp::read_tagged(pd_.stags(), req->src_stag, req->src_to,
+                               req->length);
+  if (!data.ok()) {
+    ++stats_.placement_errors;
+    send_terminate(src, rdmap::TermError::kInvalidStag, req->src_stag);
+    return;
+  }
+
+  // Stream the response as tagged ReadResponse segments keyed by read id.
+  auto& c = dev_.host().costs();
+  const auto plan = ddp::plan_segments(req->length, max_segment_payload());
+  for (const auto& s : plan) {
+    ddp::SegmentHeader h;
+    h.set_opcode(static_cast<u8>(rdmap::Opcode::kReadResponse));
+    h.set_tagged(true);
+    h.set_last(s.last);
+    h.msn = seg.header.msn;  // read id
+    h.mo = static_cast<u32>(s.offset);
+    h.msg_len = req->length;
+    h.src_qpn = qpn_;
+    h.stag = req->src_stag;  // informational; requester places by read id
+    h.to = s.offset;
+    TimeNs cost = c.ddp_segment_fixed +
+                  static_cast<TimeNs>(c.touch_ns_per_byte *
+                                      static_cast<double>(s.length));
+    if (dev_.config().ud_crc)
+      cost += static_cast<TimeNs>(c.crc_ns_per_byte *
+                                  static_cast<double>(s.length));
+    dev_.host().cpu().charge(cost);
+    transmit_segment(src, ddp::build_segment(
+                              h, data->subspan(s.offset, s.length),
+                              dev_.config().ud_crc));
+  }
+}
+
+void UdQueuePair::handle_read_response(host::Endpoint src,
+                                       const ddp::ParsedSegment& seg) {
+  (void)src;
+  auto it = pending_reads_.find(seg.header.msn);
+  if (it == pending_reads_.end()) return;  // expired or duplicate
+  PendingRead& pr = it->second;
+  if (seg.header.mo + seg.payload.size() > pr.sink.size()) {
+    ++stats_.placement_errors;
+    return;
+  }
+  auto& c = dev_.host().costs();
+  dev_.host().cpu().charge(static_cast<TimeNs>(
+      c.touch_ns_per_byte * static_cast<double>(seg.payload.size())));
+  std::memcpy(pr.sink.data() + seg.header.mo, seg.payload.data(),
+              seg.payload.size());
+  pr.remaining -= static_cast<u32>(
+      std::min<std::size_t>(pr.remaining, seg.payload.size()));
+  if (pr.remaining == 0) {
+    complete_send(pr.wr_id, WcOpcode::kRdmaRead, seg.header.msg_len,
+                  Status::Ok(), pr.signaled);
+    pending_reads_.erase(it);
+  }
+}
+
+void UdQueuePair::send_terminate(host::Endpoint dst, rdmap::TermError err,
+                                 u32 context) {
+  rdmap::TerminateMessage t;
+  t.layer = rdmap::TermLayer::kDdp;
+  t.error_code = static_cast<u8>(err);
+  t.context = context;
+  const Bytes payload = t.serialize();
+
+  ddp::SegmentHeader h;
+  h.set_opcode(static_cast<u8>(rdmap::Opcode::kTerminate));
+  h.set_last(true);
+  h.queue = static_cast<u8>(ddp::Queue::kTerminate);
+  h.msg_len = static_cast<u32>(payload.size());
+  h.src_qpn = qpn_;
+  dev_.host().cpu().charge(dev_.host().costs().ddp_segment_fixed);
+  transmit_segment(dst, ddp::build_segment(h, ConstByteSpan{payload},
+                                           dev_.config().ud_crc));
+}
+
+void UdQueuePair::ensure_gc() {
+  if (gc_armed_) return;
+  gc_armed_ = true;
+  const TimeNs period = dev_.config().ud_message_timeout / 2;
+  auto weak = weak_from_this();
+  dev_.host().sim().after(period, [weak] {
+    if (auto self = weak.lock()) self->run_gc();
+  });
+}
+
+void UdQueuePair::run_gc() {
+  gc_armed_ = false;
+  const TimeNs now = dev_.host().sim().now();
+
+  // Send/recv messages that never completed: recover the posted buffers
+  // with an error completion ("recover buffers", Figure 2).
+  for (const auto& ex : reasm_.expire_before(now)) {
+    ++stats_.expired_messages;
+    Completion c;
+    c.wr_id = ex.cookie;
+    c.status = Status(Errc::kMessageDropped, "message incomplete after timeout");
+    c.opcode = WcOpcode::kRecv;
+    c.byte_len = ex.received;
+    complete_recv(std::move(c));
+  }
+
+  // Write-Records whose LAST segment was lost: "loss of this final packet
+  // results in the loss of the entire message" — dropped, counted.
+  const auto dead = wr_log_.expire_before(now);
+  stats_.expired_records += dead.size();
+
+  // Expired UD reads (extension): complete with error so the WR unblocks.
+  for (auto it = pending_reads_.begin(); it != pending_reads_.end();) {
+    if (it->second.deadline <= now) {
+      complete_send(it->second.wr_id, WcOpcode::kRdmaRead, 0,
+                    Status(Errc::kMessageDropped, "UD read response lost"),
+                    true);
+      it = pending_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (reasm_.inflight() > 0 || wr_log_.inflight() > 0 ||
+      !pending_reads_.empty()) {
+    ensure_gc();
+  }
+}
+
+}  // namespace dgiwarp::verbs

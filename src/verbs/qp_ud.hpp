@@ -1,0 +1,92 @@
+// UD (unreliable/reliable datagram) queue pair — the datagram-iWARP engine.
+//
+// One UD QP serves any number of peers: work requests carry destination
+// addresses and completions report sources (paper §IV.B item 4). The QP
+// binds one UDP port; segments up to 64 KB travel as single datagrams (the
+// kernel IP layer fragments them), larger messages are segmented by the
+// stack. MPA does not exist on this path.
+//
+// Loss handling follows the paper's relaxed rules: CRC failures, missing
+// segments and expired messages are *reported* (stats + error completions
+// that recover buffers) but never move the QP to Error.
+#pragma once
+
+#include <map>
+
+#include "ddp/reassembly.hpp"
+#include "ddp/segmenter.hpp"
+#include "rdmap/message.hpp"
+#include "rdmap/terminate.hpp"
+#include "rdmap/write_record.hpp"
+#include "verbs/device.hpp"
+
+namespace dgiwarp::verbs {
+
+struct UdQpStats {
+  u64 segments_tx = 0;
+  u64 segments_rx = 0;
+  u64 crc_drops = 0;
+  u64 no_buffer_drops = 0;
+  u64 expired_messages = 0;   // send/recv messages that timed out
+  u64 expired_records = 0;    // Write-Records whose LAST never arrived
+  u64 late_chunks = 0;
+  u64 placement_errors = 0;
+  u64 terminates_rx = 0;
+  u64 rd_failures = 0;        // RD layer gave up on a datagram
+};
+
+class UdQueuePair final : public QueuePair,
+                          public std::enable_shared_from_this<UdQueuePair> {
+ public:
+  ~UdQueuePair() override;
+
+  /// Post kSend / kSendSE / kWriteRecord (and kRdmaRead when the device
+  /// enables the UD-read extension). wr.remote addresses the target.
+  Status post_send(const SendWr& wr) override;
+
+  u16 local_port() const;
+  host::Endpoint local_ep() const;
+  bool reliable() const { return rd_ != nullptr; }
+  const UdQpStats& stats() const { return stats_; }
+
+  /// Largest message this QP accepts in one WR (stack-level segmentation
+  /// bounds it only by header arithmetic; effectively 4 GB).
+  std::size_t max_message_size() const { return 0xFFFF0000u; }
+
+ private:
+  friend class Device;
+  UdQueuePair(Device& dev, const UdQpAttr& attr, host::UdpSocket* socket);
+
+  void on_datagram(host::Endpoint src, Bytes data);
+  void handle_untagged(host::Endpoint src, const ddp::ParsedSegment& seg,
+                       rdmap::Opcode op);
+  void handle_write_record(host::Endpoint src, const ddp::ParsedSegment& seg);
+  void handle_read_request(host::Endpoint src, const ddp::ParsedSegment& seg);
+  void handle_read_response(host::Endpoint src, const ddp::ParsedSegment& seg);
+  void send_terminate(host::Endpoint dst, rdmap::TermError err, u32 context);
+  void transmit_segment(const host::Endpoint& dst, Bytes segment);
+  std::size_t max_segment_payload() const;
+  void ensure_gc();
+  void run_gc();
+
+  host::UdpSocket* socket_;
+  std::unique_ptr<rd::ReliableDatagram> rd_;
+  ddp::UntaggedReassembler reasm_;
+  rdmap::WriteRecordLog wr_log_;
+  /// Per-destination MSN for untagged sends (keyed by endpoint+QPN).
+  std::map<std::pair<host::Endpoint, u32>, u32> next_msn_;
+  u32 next_msg_id_ = 1;
+  /// Outstanding UD RDMA Reads (extension): read id -> pending state.
+  struct PendingRead {
+    u64 wr_id = 0;
+    ByteSpan sink;
+    u32 remaining = 0;
+    bool signaled = true;
+    TimeNs deadline = 0;
+  };
+  std::map<u32, PendingRead> pending_reads_;
+  bool gc_armed_ = false;
+  UdQpStats stats_;
+};
+
+}  // namespace dgiwarp::verbs

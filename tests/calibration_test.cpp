@@ -1,0 +1,114 @@
+// Calibration guard: asserts that the cost model keeps reproducing the
+// paper's headline bands (see hoststack/cost_model.hpp). If a stack change
+// breaks one of these, the reproduced figures have drifted.
+#include <gtest/gtest.h>
+
+#include "perf/harness.hpp"
+
+namespace dgiwarp {
+namespace {
+
+using perf::Mode;
+
+double lat(Mode m, std::size_t sz) {
+  return perf::measure_latency(m, sz, 16).half_rtt_us;
+}
+double bw(Mode m, std::size_t sz) {
+  return perf::measure_bandwidth(m, sz, perf::default_message_count(sz))
+      .goodput_MBps;
+}
+
+TEST(Calibration, SmallMessageLatencyBands) {
+  // Paper: UD 27-28 us, RC ~33 us for messages under 128 B.
+  const double ud_sr = lat(Mode::kUdSendRecv, 64);
+  const double ud_wr = lat(Mode::kUdWriteRecord, 64);
+  const double rc_sr = lat(Mode::kRcSendRecv, 64);
+  const double rc_w = lat(Mode::kRcRdmaWrite, 64);
+  EXPECT_GT(ud_sr, 24.0);
+  EXPECT_LT(ud_sr, 31.0);
+  EXPECT_GT(ud_wr, 24.0);
+  EXPECT_LT(ud_wr, 31.0);
+  EXPECT_GT(rc_sr, 29.0);
+  EXPECT_LT(rc_sr, 37.0);
+  EXPECT_GT(rc_w, 29.0);
+  EXPECT_LT(rc_w, 38.0);
+  // Ordering: both UD modes beat both RC modes.
+  EXPECT_LT(ud_sr, rc_sr);
+  EXPECT_LT(ud_wr, rc_w);
+}
+
+TEST(Calibration, MidSizeBandFavoursRc) {
+  // Paper: RC send/recv slightly better than UD between 16 KB and 64 KB.
+  EXPECT_LT(lat(Mode::kRcSendRecv, 32 * KiB), lat(Mode::kUdSendRecv, 32 * KiB));
+}
+
+TEST(Calibration, LargeMessagesFavourUd) {
+  EXPECT_LT(lat(Mode::kUdSendRecv, 512 * KiB),
+            lat(Mode::kRcSendRecv, 512 * KiB));
+  EXPECT_LT(lat(Mode::kUdWriteRecord, 512 * KiB),
+            lat(Mode::kRcRdmaWrite, 512 * KiB));
+}
+
+TEST(Calibration, PeakBandwidthBands) {
+  // Paper: UD ~240-250 MB/s, RC S/R ~180 MB/s, RC Write ~70 MB/s.
+  const double ud = bw(Mode::kUdWriteRecord, 512 * KiB);
+  const double rc_sr = bw(Mode::kRcSendRecv, 256 * KiB);
+  const double rc_w = bw(Mode::kRcRdmaWrite, 512 * KiB);
+  EXPECT_GT(ud, 200.0);
+  EXPECT_LT(ud, 290.0);
+  EXPECT_GT(rc_sr, 120.0);
+  EXPECT_LT(rc_sr, 210.0);
+  EXPECT_GT(rc_w, 45.0);
+  EXPECT_LT(rc_w, 90.0);
+}
+
+TEST(Calibration, HeadlineRatios) {
+  // +256% (WriteRec vs RC Write, 512 KB) and +33.4% (S/R, 256 KB): accept
+  // the right order of magnitude.
+  const double wr_ratio =
+      bw(Mode::kUdWriteRecord, 512 * KiB) / bw(Mode::kRcRdmaWrite, 512 * KiB);
+  EXPECT_GT(wr_ratio, 2.5);
+  EXPECT_LT(wr_ratio, 5.0);
+  const double sr_ratio =
+      bw(Mode::kUdSendRecv, 256 * KiB) / bw(Mode::kRcSendRecv, 256 * KiB);
+  EXPECT_GT(sr_ratio, 1.2);
+  EXPECT_LT(sr_ratio, 2.0);
+}
+
+TEST(Calibration, LossCollapsesSendRecvButNotWriteRecord) {
+  perf::Options lossy;
+  lossy.loss_rate = 0.01;
+  const auto sr = perf::measure_bandwidth(Mode::kUdSendRecv, 512 * KiB, 16,
+                                          lossy);
+  const auto wr = perf::measure_bandwidth(Mode::kUdWriteRecord, 512 * KiB, 16,
+                                          lossy);
+  // All-or-nothing vs partial placement (Figures 7 vs 8).
+  EXPECT_LT(sr.delivered_frac, 0.3);
+  EXPECT_GT(wr.delivered_frac, 0.4);
+  EXPECT_GT(wr.goodput_MBps, sr.goodput_MBps * 2);
+}
+
+TEST(Calibration, RdRestoresDeliveryUnderLoss) {
+  perf::Options lossy;
+  lossy.loss_rate = 0.02;
+  const auto rd =
+      perf::measure_bandwidth(Mode::kRdSendRecv, 16 * KiB, 64, lossy);
+  EXPECT_DOUBLE_EQ(rd.delivered_frac, 1.0);
+}
+
+TEST(Calibration, CleanLinkDeliversEverything) {
+  for (Mode m : {Mode::kUdSendRecv, Mode::kUdWriteRecord, Mode::kRcSendRecv,
+                 Mode::kRcRdmaWrite}) {
+    const auto r = perf::measure_bandwidth(m, 64 * KiB, 32);
+    EXPECT_DOUBLE_EQ(r.delivered_frac, 1.0) << perf::mode_name(m);
+  }
+}
+
+TEST(Calibration, DeterministicAcrossRuns) {
+  const double a = bw(Mode::kUdSendRecv, 64 * KiB);
+  const double b = bw(Mode::kUdSendRecv, 64 * KiB);
+  EXPECT_DOUBLE_EQ(a, b);  // virtual time: bit-identical
+}
+
+}  // namespace
+}  // namespace dgiwarp

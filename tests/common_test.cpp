@@ -1,0 +1,243 @@
+// Unit tests for the common substrate: CRC32, buffers, wire codecs, RNG,
+// statistics and the memory ledger.
+#include <gtest/gtest.h>
+
+#include "common/buffer.hpp"
+#include "common/crc32.hpp"
+#include "common/memledger.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dgiwarp {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // IEEE CRC32 of "123456789" is the classic check value 0xCBF43926.
+  const Bytes check = bytes_of("123456789");
+  EXPECT_EQ(crc32_ieee(ConstByteSpan{check}), 0xCBF43926u);
+  // Empty input.
+  EXPECT_EQ(crc32_ieee(ConstByteSpan{}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const Bytes data = make_pattern(10'000, 3);
+  for (std::size_t split : {std::size_t{1}, std::size_t{7}, std::size_t{4096},
+                            std::size_t{9999}}) {
+    Crc32 inc;
+    inc.update(ConstByteSpan{data}.subspan(0, split));
+    inc.update(ConstByteSpan{data}.subspan(split));
+    EXPECT_EQ(inc.final(), crc32_ieee(ConstByteSpan{data})) << split;
+  }
+}
+
+TEST(Crc32, GatherListMatchesFlat) {
+  const Bytes a = make_pattern(100, 1);
+  const Bytes b = make_pattern(311, 2);
+  GatherList gl;
+  gl.add(ConstByteSpan{a});
+  gl.add(ConstByteSpan{b});
+  Crc32 inc;
+  inc.update(gl);
+  const Bytes flat = gl.flatten();
+  EXPECT_EQ(inc.final(), crc32_ieee(ConstByteSpan{flat}));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Bytes data = make_pattern(512, 9);
+  const u32 good = crc32_ieee(ConstByteSpan{data});
+  for (std::size_t bit : {std::size_t{0}, std::size_t{2048},
+                          std::size_t{4095}}) {
+    data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    EXPECT_NE(crc32_ieee(ConstByteSpan{data}), good);
+    data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+  }
+}
+
+TEST(GatherList, CopyOutAtOffsets) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {4, 5, 6, 7};
+  GatherList gl;
+  gl.add(ConstByteSpan{a});
+  gl.add(ConstByteSpan{b});
+  EXPECT_EQ(gl.total_size(), 7u);
+
+  Bytes out(4, 0);
+  EXPECT_EQ(gl.copy_out(2, ByteSpan{out}), 4u);
+  EXPECT_EQ(out, (Bytes{3, 4, 5, 6}));
+
+  Bytes tail(10, 0);
+  EXPECT_EQ(gl.copy_out(5, ByteSpan{tail}), 2u);  // clamped at end
+  EXPECT_EQ(tail[0], 6);
+  EXPECT_EQ(tail[1], 7);
+}
+
+TEST(ScatterList, CopyInAcrossSegments) {
+  Bytes a(3, 0), b(4, 0);
+  ScatterList sl;
+  sl.add(ByteSpan{a});
+  sl.add(ByteSpan{b});
+  const Bytes src = {9, 8, 7, 6};
+  EXPECT_EQ(sl.copy_in(2, ConstByteSpan{src}), 4u);
+  EXPECT_EQ(a, (Bytes{0, 0, 9}));
+  EXPECT_EQ(b, (Bytes{8, 7, 6, 0}));
+}
+
+TEST(WireCodec, RoundtripAllWidths) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u8be(0xAB);
+  w.u16be(0x1234);
+  w.u32be(0xDEADBEEF);
+  w.u64be(0x0123456789ABCDEFull);
+  const Bytes tail = {1, 2, 3};
+  w.bytes(ConstByteSpan{tail});
+
+  WireReader r(ConstByteSpan{buf});
+  EXPECT_EQ(r.u8be(), 0xAB);
+  EXPECT_EQ(r.u16be(), 0x1234);
+  EXPECT_EQ(r.u32be(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64be(), 0x0123456789ABCDEFull);
+  auto rest = r.rest();
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(), rest.begin()));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireCodec, UnderflowSetsError) {
+  const Bytes two = {1, 2};
+  WireReader r(ConstByteSpan{two});
+  EXPECT_EQ(r.u32be(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Further reads stay zero and flagged.
+  EXPECT_EQ(r.u8be(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireCodec, BigEndianOnTheWire) {
+  Bytes buf;
+  WireWriter w(buf);
+  w.u32be(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i)
+    if (a2.next_u64() != c.next_u64()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const i64 v = rng.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(99);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.05) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.05, 0.005);
+}
+
+TEST(RunningStat, Moments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(s.percentile(100), 100.0, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+}
+
+TEST(SizeSweep, PowersOfTwoInclusive) {
+  const auto v = size_sweep(1, 1024);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_EQ(v.front(), 1u);
+  EXPECT_EQ(v.back(), 1024u);
+}
+
+TEST(MemLedger, ChargeAndRefund) {
+  auto ledger = std::make_shared<MemLedger>();
+  {
+    MemCharge c(ledger, "a", 100);
+    MemCharge d(ledger, "b", 50);
+    EXPECT_EQ(ledger->total(), 150);
+    EXPECT_EQ(ledger->category("a"), 100);
+    c.resize(200);
+    EXPECT_EQ(ledger->total(), 250);
+  }
+  EXPECT_EQ(ledger->total(), 0);
+}
+
+TEST(MemLedger, MoveTransfersOwnership) {
+  auto ledger = std::make_shared<MemLedger>();
+  MemCharge a(ledger, "x", 10);
+  MemCharge b = std::move(a);
+  EXPECT_EQ(ledger->total(), 10);
+  a = MemCharge(ledger, "x", 5);  // old (moved-from) slot reused
+  EXPECT_EQ(ledger->total(), 15);
+}
+
+TEST(MemLedger, ChargeOutlivesLedgerHandleSafely) {
+  MemCharge survivor;
+  {
+    auto ledger = std::make_shared<MemLedger>();
+    survivor = MemCharge(ledger, "late", 42);
+    EXPECT_EQ(ledger->total(), 42);
+  }
+  // The ledger is kept alive by the charge; releasing must not crash.
+  survivor = MemCharge();
+}
+
+TEST(Status, CodesAndMessages) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status err(Errc::kCrcError, "boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), Errc::kCrcError);
+  EXPECT_EQ(err.to_string(), "CRC_ERROR: boom");
+}
+
+TEST(ResultT, ValueAndError) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  Result<int> bad(Errc::kNotFound, "nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), Errc::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(PatternFill, DeterministicAndSeedSensitive) {
+  const Bytes a = make_pattern(64, 1);
+  const Bytes b = make_pattern(64, 1);
+  const Bytes c = make_pattern(64, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace dgiwarp

@@ -1,0 +1,232 @@
+// Unit tests for the discrete-event core: simulation ordering, the
+// two-lane CPU model, links, loss models and the learning switch.
+#include <gtest/gtest.h>
+
+#include "hoststack/host.hpp"
+#include "simnet/cpu.hpp"
+#include "simnet/fabric.hpp"
+
+namespace dgiwarp {
+namespace {
+
+using sim::CpuModel;
+using sim::Simulation;
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(300, [&] { order.push_back(3); });
+  sim.at(100, [&] { order.push_back(1); });
+  sim.at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulation, EqualTimesAreFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(50, [&, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  sim.at(100, [] {});
+  sim.run();
+  bool ran = false;
+  sim.at(10, [&] { ran = true; });  // in the past
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 100);  // clock never goes backwards
+}
+
+TEST(Simulation, RunUntilAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(100, [&] { ++fired; });
+  sim.at(500, [&] { ++fired; });
+  sim.run_until(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 200);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.after(10, chain);
+  };
+  sim.after(10, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulation, RunWhilePendingRespectsDeadline) {
+  Simulation sim;
+  bool flag = false;
+  sim.at(1000, [&] { flag = true; });
+  EXPECT_FALSE(sim.run_while_pending([&] { return flag; }, 500));
+  EXPECT_EQ(sim.now(), 500);
+  EXPECT_TRUE(sim.run_while_pending([&] { return flag; }, 2000));
+}
+
+TEST(Cpu, UserChargesQueueFifo) {
+  Simulation sim;
+  CpuModel cpu(sim);
+  EXPECT_EQ(cpu.charge(100), 100);
+  EXPECT_EQ(cpu.charge(50), 150);  // queued behind the first
+  sim.run_until(1000);
+  EXPECT_EQ(cpu.charge(10), 1010);  // idle gap not accumulated
+  EXPECT_EQ(cpu.busy_total(), 160);
+}
+
+TEST(Cpu, KernelLanePreemptsUserWork) {
+  Simulation sim;
+  CpuModel cpu(sim);
+  cpu.charge(1000);                        // user backlog to 1000
+  EXPECT_EQ(cpu.charge_kernel(100), 100);  // kernel does NOT wait for it
+  EXPECT_EQ(cpu.free_at(), 1100);          // user work displaced by 100
+  EXPECT_EQ(cpu.charge_kernel(50), 150);   // kernel lane serializes itself
+}
+
+TEST(Cpu, KernelChargeWithIdleUserLane) {
+  Simulation sim;
+  CpuModel cpu(sim);
+  EXPECT_EQ(cpu.charge_kernel(100), 100);
+  // No queued user work: nothing to displace.
+  EXPECT_EQ(cpu.free_at(), 0);
+}
+
+TEST(Cpu, ChargeThenSchedulesAtCompletion) {
+  Simulation sim;
+  CpuModel cpu(sim);
+  TimeNs fired_at = -1;
+  cpu.charge(200);
+  cpu.charge_then(100, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 300);
+}
+
+TEST(Link, SerializationAndPropagationDelay) {
+  sim::Simulation s;
+  Rng rng(1);
+  sim::LinkParams p;
+  p.bandwidth_bps = 1e9;  // 1 Gb/s -> 8 ns per byte
+  p.propagation = 1000;
+  sim::Link link(s, rng, p, "l");
+  TimeNs arrival = -1;
+  link.set_receiver([&](sim::Frame) { arrival = s.now(); });
+  sim::Frame f;
+  f.payload.assign(962, 0);  // 962 + 38 overhead = 1000 wire bytes
+  link.transmit(std::move(f));
+  s.run();
+  EXPECT_EQ(arrival, 8000 + 1000);
+}
+
+TEST(Link, BackToBackFramesQueue) {
+  sim::Simulation s;
+  Rng rng(1);
+  sim::LinkParams p;
+  p.bandwidth_bps = 1e9;
+  p.propagation = 0;
+  sim::Link link(s, rng, p, "l");
+  std::vector<TimeNs> arrivals;
+  link.set_receiver([&](sim::Frame) { arrivals.push_back(s.now()); });
+  for (int i = 0; i < 3; ++i) {
+    sim::Frame f;
+    f.payload.assign(962, 0);
+    link.transmit(std::move(f));
+  }
+  s.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 8000);
+  EXPECT_EQ(arrivals[1], 16000);  // output queueing
+  EXPECT_EQ(arrivals[2], 24000);
+}
+
+TEST(Faults, PeriodicLossDropsEveryNth) {
+  sim::PeriodicLoss loss(3);
+  Rng rng(1);
+  int drops = 0;
+  for (int i = 0; i < 9; ++i) drops += loss.should_drop(rng) ? 1 : 0;
+  EXPECT_EQ(drops, 3);
+}
+
+TEST(Faults, TargetedLossHitsExactOrdinals) {
+  sim::TargetedLoss loss({2, 5});
+  Rng rng(1);
+  std::vector<bool> dropped;
+  for (int i = 0; i < 6; ++i) dropped.push_back(loss.should_drop(rng));
+  EXPECT_EQ(dropped, (std::vector<bool>{false, true, false, false, true,
+                                        false}));
+}
+
+TEST(Faults, BernoulliLossMatchesRate) {
+  sim::BernoulliLoss loss(0.1);
+  Rng rng(5);
+  int drops = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) drops += loss.should_drop(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.1, 0.01);
+}
+
+TEST(Faults, GilbertElliottBurstsLoss) {
+  // Bad state drops everything; expect drops to cluster.
+  sim::GilbertElliottLoss loss(0.01, 0.2, 0.0, 1.0);
+  Rng rng(11);
+  int drops = 0, transitions = 0;
+  bool prev = false;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const bool d = loss.should_drop(rng);
+    if (d != prev) ++transitions;
+    prev = d;
+    drops += d ? 1 : 0;
+  }
+  EXPECT_GT(drops, 1000);
+  // Bursty: far fewer state changes than drops.
+  EXPECT_LT(transitions, drops);
+}
+
+TEST(Switch, LearnsAndForwards) {
+  sim::Fabric fabric;
+  host::Host a(fabric, "a"), b(fabric, "b"), c(fabric, "c");
+  // First frame to an unknown address floods; replies are then unicast.
+  auto* udp_a = *a.udp().open(100);
+  auto* udp_b = *b.udp().open(100);
+  auto* udp_c = *c.udp().open(100);
+  int c_rx = 0;
+  udp_c->set_handler([&](host::Endpoint, Bytes) { ++c_rx; });
+  Bytes msg = bytes_of("x");
+  (void)udp_a->send_to({b.addr(), 100}, ConstByteSpan{msg});
+  fabric.sim().run();
+  EXPECT_EQ(udp_b->datagrams_received(), 1u);
+  EXPECT_EQ(c_rx, 0);  // addressed frames don't reach bystanders
+  // Reply is unicast (b learned a's port from the flooded frame).
+  (void)udp_b->send_to({a.addr(), 100}, ConstByteSpan{msg});
+  fabric.sim().run();
+  EXPECT_EQ(udp_a->datagrams_received(), 1u);
+  EXPECT_GE(fabric.fabric_switch().frames_forwarded(), 1u);
+}
+
+TEST(Fabric, EgressFaultsOnlyAffectThatDirection) {
+  sim::Fabric fabric;
+  host::Host a(fabric, "a"), b(fabric, "b");
+  fabric.set_egress_faults(0, sim::Faults::bernoulli(1.0));  // drop all a->*
+  auto* ua = *a.udp().open(100);
+  auto* ub = *b.udp().open(100);
+  Bytes msg = bytes_of("y");
+  (void)ua->send_to({b.addr(), 100}, ConstByteSpan{msg});
+  (void)ub->send_to({a.addr(), 100}, ConstByteSpan{msg});
+  fabric.sim().run();
+  EXPECT_EQ(ub->datagrams_received(), 0u);  // a's egress is dead
+  EXPECT_EQ(ua->datagrams_received(), 1u);  // b's egress is fine
+}
+
+}  // namespace
+}  // namespace dgiwarp
