@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpa_markers.dir/ablation_mpa_markers.cpp.o"
+  "CMakeFiles/ablation_mpa_markers.dir/ablation_mpa_markers.cpp.o.d"
+  "ablation_mpa_markers"
+  "ablation_mpa_markers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpa_markers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

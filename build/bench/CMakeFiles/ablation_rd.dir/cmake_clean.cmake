@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rd.dir/ablation_rd.cpp.o"
+  "CMakeFiles/ablation_rd.dir/ablation_rd.cpp.o.d"
+  "ablation_rd"
+  "ablation_rd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

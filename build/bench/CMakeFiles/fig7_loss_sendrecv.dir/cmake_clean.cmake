@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_loss_sendrecv.dir/fig7_loss_sendrecv.cpp.o"
+  "CMakeFiles/fig7_loss_sendrecv.dir/fig7_loss_sendrecv.cpp.o.d"
+  "fig7_loss_sendrecv"
+  "fig7_loss_sendrecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_loss_sendrecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_loss_writerecord.dir/fig8_loss_writerecord.cpp.o"
+  "CMakeFiles/fig8_loss_writerecord.dir/fig8_loss_writerecord.cpp.o.d"
+  "fig8_loss_writerecord"
+  "fig8_loss_writerecord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_loss_writerecord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_loss_writerecord.
+# This may be replaced when dependencies are built.

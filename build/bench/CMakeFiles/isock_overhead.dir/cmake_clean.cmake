@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isock_overhead.dir/isock_overhead.cpp.o"
+  "CMakeFiles/isock_overhead.dir/isock_overhead.cpp.o.d"
+  "isock_overhead"
+  "isock_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isock_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

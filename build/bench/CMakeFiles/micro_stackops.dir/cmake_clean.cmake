@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stackops.dir/micro_stackops.cpp.o"
+  "CMakeFiles/micro_stackops.dir/micro_stackops.cpp.o.d"
+  "micro_stackops"
+  "micro_stackops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stackops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_link_demo.dir/lossy_link_demo.cpp.o"
+  "CMakeFiles/lossy_link_demo.dir/lossy_link_demo.cpp.o.d"
+  "lossy_link_demo"
+  "lossy_link_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_link_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

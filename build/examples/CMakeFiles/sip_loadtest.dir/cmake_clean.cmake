@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_loadtest.dir/sip_loadtest.cpp.o"
+  "CMakeFiles/sip_loadtest.dir/sip_loadtest.cpp.o.d"
+  "sip_loadtest"
+  "sip_loadtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_loadtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sip_loadtest.
+# This may be replaced when dependencies are built.

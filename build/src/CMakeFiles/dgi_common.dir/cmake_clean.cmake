@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_common.dir/common/crc32.cpp.o"
+  "CMakeFiles/dgi_common.dir/common/crc32.cpp.o.d"
+  "CMakeFiles/dgi_common.dir/common/log.cpp.o"
+  "CMakeFiles/dgi_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/dgi_common.dir/common/memledger.cpp.o"
+  "CMakeFiles/dgi_common.dir/common/memledger.cpp.o.d"
+  "CMakeFiles/dgi_common.dir/common/stats.cpp.o"
+  "CMakeFiles/dgi_common.dir/common/stats.cpp.o.d"
+  "libdgi_common.a"
+  "libdgi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddp/header.cpp" "src/CMakeFiles/dgi_ddp.dir/ddp/header.cpp.o" "gcc" "src/CMakeFiles/dgi_ddp.dir/ddp/header.cpp.o.d"
+  "/root/repo/src/ddp/placement.cpp" "src/CMakeFiles/dgi_ddp.dir/ddp/placement.cpp.o" "gcc" "src/CMakeFiles/dgi_ddp.dir/ddp/placement.cpp.o.d"
+  "/root/repo/src/ddp/reassembly.cpp" "src/CMakeFiles/dgi_ddp.dir/ddp/reassembly.cpp.o" "gcc" "src/CMakeFiles/dgi_ddp.dir/ddp/reassembly.cpp.o.d"
+  "/root/repo/src/ddp/segmenter.cpp" "src/CMakeFiles/dgi_ddp.dir/ddp/segmenter.cpp.o" "gcc" "src/CMakeFiles/dgi_ddp.dir/ddp/segmenter.cpp.o.d"
+  "/root/repo/src/ddp/stag.cpp" "src/CMakeFiles/dgi_ddp.dir/ddp/stag.cpp.o" "gcc" "src/CMakeFiles/dgi_ddp.dir/ddp/stag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_ddp.dir/ddp/header.cpp.o"
+  "CMakeFiles/dgi_ddp.dir/ddp/header.cpp.o.d"
+  "CMakeFiles/dgi_ddp.dir/ddp/placement.cpp.o"
+  "CMakeFiles/dgi_ddp.dir/ddp/placement.cpp.o.d"
+  "CMakeFiles/dgi_ddp.dir/ddp/reassembly.cpp.o"
+  "CMakeFiles/dgi_ddp.dir/ddp/reassembly.cpp.o.d"
+  "CMakeFiles/dgi_ddp.dir/ddp/segmenter.cpp.o"
+  "CMakeFiles/dgi_ddp.dir/ddp/segmenter.cpp.o.d"
+  "CMakeFiles/dgi_ddp.dir/ddp/stag.cpp.o"
+  "CMakeFiles/dgi_ddp.dir/ddp/stag.cpp.o.d"
+  "libdgi_ddp.a"
+  "libdgi_ddp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_ddp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dgi_ddp.
+# This may be replaced when dependencies are built.

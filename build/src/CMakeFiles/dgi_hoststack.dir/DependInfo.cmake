@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hoststack/host.cpp" "src/CMakeFiles/dgi_hoststack.dir/hoststack/host.cpp.o" "gcc" "src/CMakeFiles/dgi_hoststack.dir/hoststack/host.cpp.o.d"
+  "/root/repo/src/hoststack/ip.cpp" "src/CMakeFiles/dgi_hoststack.dir/hoststack/ip.cpp.o" "gcc" "src/CMakeFiles/dgi_hoststack.dir/hoststack/ip.cpp.o.d"
+  "/root/repo/src/hoststack/tcp.cpp" "src/CMakeFiles/dgi_hoststack.dir/hoststack/tcp.cpp.o" "gcc" "src/CMakeFiles/dgi_hoststack.dir/hoststack/tcp.cpp.o.d"
+  "/root/repo/src/hoststack/udp.cpp" "src/CMakeFiles/dgi_hoststack.dir/hoststack/udp.cpp.o" "gcc" "src/CMakeFiles/dgi_hoststack.dir/hoststack/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgi_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

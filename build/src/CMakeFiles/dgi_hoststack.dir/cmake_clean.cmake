@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_hoststack.dir/hoststack/host.cpp.o"
+  "CMakeFiles/dgi_hoststack.dir/hoststack/host.cpp.o.d"
+  "CMakeFiles/dgi_hoststack.dir/hoststack/ip.cpp.o"
+  "CMakeFiles/dgi_hoststack.dir/hoststack/ip.cpp.o.d"
+  "CMakeFiles/dgi_hoststack.dir/hoststack/tcp.cpp.o"
+  "CMakeFiles/dgi_hoststack.dir/hoststack/tcp.cpp.o.d"
+  "CMakeFiles/dgi_hoststack.dir/hoststack/udp.cpp.o"
+  "CMakeFiles/dgi_hoststack.dir/hoststack/udp.cpp.o.d"
+  "libdgi_hoststack.a"
+  "libdgi_hoststack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_hoststack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgi_hoststack.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_isock.dir/isock/isock.cpp.o"
+  "CMakeFiles/dgi_isock.dir/isock/isock.cpp.o.d"
+  "libdgi_isock.a"
+  "libdgi_isock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_isock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

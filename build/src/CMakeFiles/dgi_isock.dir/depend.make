@@ -1,0 +1,2 @@
+# Empty dependencies file for dgi_isock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/media/media.cpp" "src/CMakeFiles/dgi_media.dir/apps/media/media.cpp.o" "gcc" "src/CMakeFiles/dgi_media.dir/apps/media/media.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgi_isock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_rdmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_ddp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_mpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_rd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_hoststack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

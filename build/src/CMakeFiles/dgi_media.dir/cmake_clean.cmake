@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_media.dir/apps/media/media.cpp.o"
+  "CMakeFiles/dgi_media.dir/apps/media/media.cpp.o.d"
+  "libdgi_media.a"
+  "libdgi_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_mpa.dir/mpa/mpa.cpp.o"
+  "CMakeFiles/dgi_mpa.dir/mpa/mpa.cpp.o.d"
+  "libdgi_mpa.a"
+  "libdgi_mpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_mpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

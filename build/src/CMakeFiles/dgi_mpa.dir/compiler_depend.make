@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dgi_mpa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_perf.dir/perf/harness.cpp.o"
+  "CMakeFiles/dgi_perf.dir/perf/harness.cpp.o.d"
+  "libdgi_perf.a"
+  "libdgi_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

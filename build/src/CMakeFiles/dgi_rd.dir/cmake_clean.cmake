@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_rd.dir/rd/reliable.cpp.o"
+  "CMakeFiles/dgi_rd.dir/rd/reliable.cpp.o.d"
+  "libdgi_rd.a"
+  "libdgi_rd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_rd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

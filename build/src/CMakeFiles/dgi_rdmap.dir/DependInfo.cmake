@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdmap/message.cpp" "src/CMakeFiles/dgi_rdmap.dir/rdmap/message.cpp.o" "gcc" "src/CMakeFiles/dgi_rdmap.dir/rdmap/message.cpp.o.d"
+  "/root/repo/src/rdmap/terminate.cpp" "src/CMakeFiles/dgi_rdmap.dir/rdmap/terminate.cpp.o" "gcc" "src/CMakeFiles/dgi_rdmap.dir/rdmap/terminate.cpp.o.d"
+  "/root/repo/src/rdmap/write_record.cpp" "src/CMakeFiles/dgi_rdmap.dir/rdmap/write_record.cpp.o" "gcc" "src/CMakeFiles/dgi_rdmap.dir/rdmap/write_record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgi_ddp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_rdmap.dir/rdmap/message.cpp.o"
+  "CMakeFiles/dgi_rdmap.dir/rdmap/message.cpp.o.d"
+  "CMakeFiles/dgi_rdmap.dir/rdmap/terminate.cpp.o"
+  "CMakeFiles/dgi_rdmap.dir/rdmap/terminate.cpp.o.d"
+  "CMakeFiles/dgi_rdmap.dir/rdmap/write_record.cpp.o"
+  "CMakeFiles/dgi_rdmap.dir/rdmap/write_record.cpp.o.d"
+  "libdgi_rdmap.a"
+  "libdgi_rdmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_rdmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

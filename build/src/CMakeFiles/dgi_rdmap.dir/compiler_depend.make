@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dgi_rdmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/cpu.cpp" "src/CMakeFiles/dgi_simnet.dir/simnet/cpu.cpp.o" "gcc" "src/CMakeFiles/dgi_simnet.dir/simnet/cpu.cpp.o.d"
+  "/root/repo/src/simnet/fabric.cpp" "src/CMakeFiles/dgi_simnet.dir/simnet/fabric.cpp.o" "gcc" "src/CMakeFiles/dgi_simnet.dir/simnet/fabric.cpp.o.d"
+  "/root/repo/src/simnet/faults.cpp" "src/CMakeFiles/dgi_simnet.dir/simnet/faults.cpp.o" "gcc" "src/CMakeFiles/dgi_simnet.dir/simnet/faults.cpp.o.d"
+  "/root/repo/src/simnet/link.cpp" "src/CMakeFiles/dgi_simnet.dir/simnet/link.cpp.o" "gcc" "src/CMakeFiles/dgi_simnet.dir/simnet/link.cpp.o.d"
+  "/root/repo/src/simnet/nic.cpp" "src/CMakeFiles/dgi_simnet.dir/simnet/nic.cpp.o" "gcc" "src/CMakeFiles/dgi_simnet.dir/simnet/nic.cpp.o.d"
+  "/root/repo/src/simnet/simulation.cpp" "src/CMakeFiles/dgi_simnet.dir/simnet/simulation.cpp.o" "gcc" "src/CMakeFiles/dgi_simnet.dir/simnet/simulation.cpp.o.d"
+  "/root/repo/src/simnet/switch.cpp" "src/CMakeFiles/dgi_simnet.dir/simnet/switch.cpp.o" "gcc" "src/CMakeFiles/dgi_simnet.dir/simnet/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_simnet.dir/simnet/cpu.cpp.o"
+  "CMakeFiles/dgi_simnet.dir/simnet/cpu.cpp.o.d"
+  "CMakeFiles/dgi_simnet.dir/simnet/fabric.cpp.o"
+  "CMakeFiles/dgi_simnet.dir/simnet/fabric.cpp.o.d"
+  "CMakeFiles/dgi_simnet.dir/simnet/faults.cpp.o"
+  "CMakeFiles/dgi_simnet.dir/simnet/faults.cpp.o.d"
+  "CMakeFiles/dgi_simnet.dir/simnet/link.cpp.o"
+  "CMakeFiles/dgi_simnet.dir/simnet/link.cpp.o.d"
+  "CMakeFiles/dgi_simnet.dir/simnet/nic.cpp.o"
+  "CMakeFiles/dgi_simnet.dir/simnet/nic.cpp.o.d"
+  "CMakeFiles/dgi_simnet.dir/simnet/simulation.cpp.o"
+  "CMakeFiles/dgi_simnet.dir/simnet/simulation.cpp.o.d"
+  "CMakeFiles/dgi_simnet.dir/simnet/switch.cpp.o"
+  "CMakeFiles/dgi_simnet.dir/simnet/switch.cpp.o.d"
+  "libdgi_simnet.a"
+  "libdgi_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_sip.dir/apps/sip/agents.cpp.o"
+  "CMakeFiles/dgi_sip.dir/apps/sip/agents.cpp.o.d"
+  "CMakeFiles/dgi_sip.dir/apps/sip/message.cpp.o"
+  "CMakeFiles/dgi_sip.dir/apps/sip/message.cpp.o.d"
+  "CMakeFiles/dgi_sip.dir/apps/sip/transaction.cpp.o"
+  "CMakeFiles/dgi_sip.dir/apps/sip/transaction.cpp.o.d"
+  "libdgi_sip.a"
+  "libdgi_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verbs/cq.cpp" "src/CMakeFiles/dgi_verbs.dir/verbs/cq.cpp.o" "gcc" "src/CMakeFiles/dgi_verbs.dir/verbs/cq.cpp.o.d"
+  "/root/repo/src/verbs/device.cpp" "src/CMakeFiles/dgi_verbs.dir/verbs/device.cpp.o" "gcc" "src/CMakeFiles/dgi_verbs.dir/verbs/device.cpp.o.d"
+  "/root/repo/src/verbs/memory.cpp" "src/CMakeFiles/dgi_verbs.dir/verbs/memory.cpp.o" "gcc" "src/CMakeFiles/dgi_verbs.dir/verbs/memory.cpp.o.d"
+  "/root/repo/src/verbs/qp.cpp" "src/CMakeFiles/dgi_verbs.dir/verbs/qp.cpp.o" "gcc" "src/CMakeFiles/dgi_verbs.dir/verbs/qp.cpp.o.d"
+  "/root/repo/src/verbs/qp_rc.cpp" "src/CMakeFiles/dgi_verbs.dir/verbs/qp_rc.cpp.o" "gcc" "src/CMakeFiles/dgi_verbs.dir/verbs/qp_rc.cpp.o.d"
+  "/root/repo/src/verbs/qp_ud.cpp" "src/CMakeFiles/dgi_verbs.dir/verbs/qp_ud.cpp.o" "gcc" "src/CMakeFiles/dgi_verbs.dir/verbs/qp_ud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgi_rdmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_mpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_hoststack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_rd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_ddp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

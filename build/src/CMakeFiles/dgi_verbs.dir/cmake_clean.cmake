@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgi_verbs.dir/verbs/cq.cpp.o"
+  "CMakeFiles/dgi_verbs.dir/verbs/cq.cpp.o.d"
+  "CMakeFiles/dgi_verbs.dir/verbs/device.cpp.o"
+  "CMakeFiles/dgi_verbs.dir/verbs/device.cpp.o.d"
+  "CMakeFiles/dgi_verbs.dir/verbs/memory.cpp.o"
+  "CMakeFiles/dgi_verbs.dir/verbs/memory.cpp.o.d"
+  "CMakeFiles/dgi_verbs.dir/verbs/qp.cpp.o"
+  "CMakeFiles/dgi_verbs.dir/verbs/qp.cpp.o.d"
+  "CMakeFiles/dgi_verbs.dir/verbs/qp_rc.cpp.o"
+  "CMakeFiles/dgi_verbs.dir/verbs/qp_rc.cpp.o.d"
+  "CMakeFiles/dgi_verbs.dir/verbs/qp_ud.cpp.o"
+  "CMakeFiles/dgi_verbs.dir/verbs/qp_ud.cpp.o.d"
+  "libdgi_verbs.a"
+  "libdgi_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgi_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

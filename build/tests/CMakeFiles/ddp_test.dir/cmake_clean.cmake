@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_test.dir/ddp_test.cpp.o"
+  "CMakeFiles/ddp_test.dir/ddp_test.cpp.o.d"
+  "ddp_test"
+  "ddp_test.pdb"
+  "ddp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoststack_test.dir/hoststack_test.cpp.o"
+  "CMakeFiles/hoststack_test.dir/hoststack_test.cpp.o.d"
+  "hoststack_test"
+  "hoststack_test.pdb"
+  "hoststack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoststack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isock_test.dir/isock_test.cpp.o"
+  "CMakeFiles/isock_test.dir/isock_test.cpp.o.d"
+  "isock_test"
+  "isock_test.pdb"
+  "isock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

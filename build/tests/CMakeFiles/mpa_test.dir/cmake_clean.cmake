@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpa_test.dir/mpa_test.cpp.o"
+  "CMakeFiles/mpa_test.dir/mpa_test.cpp.o.d"
+  "mpa_test"
+  "mpa_test.pdb"
+  "mpa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmap_test.dir/rdmap_test.cpp.o"
+  "CMakeFiles/rdmap_test.dir/rdmap_test.cpp.o.d"
+  "rdmap_test"
+  "rdmap_test.pdb"
+  "rdmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/isock_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/hoststack_test[1]_include.cmake")
+include("/root/repo/build/tests/mpa_test[1]_include.cmake")
+include("/root/repo/build/tests/ddp_test[1]_include.cmake")
+include("/root/repo/build/tests/rdmap_test[1]_include.cmake")
+include("/root/repo/build/tests/rd_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
