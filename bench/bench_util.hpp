@@ -2,14 +2,36 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "perf/harness.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dgiwarp::bench {
+
+/// Parse `--metrics-json <path>` from argv. Returns the path ("" if the
+/// flag is absent). Every figure bench accepts the flag; the aggregate
+/// registry collecting all measurement runs is dumped there on exit.
+inline std::string metrics_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Write the aggregate registry to `path` if one was requested.
+inline void dump_metrics(const telemetry::Registry& reg,
+                         const std::string& path) {
+  if (path.empty()) return;
+  if (reg.write_json_file(path.c_str()).ok())
+    std::printf("\nmetrics written to %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "failed to write metrics to %s\n", path.c_str());
+}
 
 inline void banner(const char* title, const char* paper_ref) {
   std::printf("=== %s ===\n", title);

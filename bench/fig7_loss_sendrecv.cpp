@@ -8,10 +8,12 @@
 using namespace dgiwarp;
 using perf::Mode;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 7 — UD send/recv bandwidth under packet loss",
                 "multi-packet messages collapse under loss (all-or-nothing "
                 "delivery); 5% loss breaks everything above the wire MTU");
+  const std::string metrics_path = bench::metrics_json_path(argc, argv);
+  telemetry::Registry metrics;
 
   const double rates[] = {0.001, 0.005, 0.01, 0.05};
   TablePrinter t({"size", "0.1% loss", "0.5% loss", "1% loss", "5% loss",
@@ -24,6 +26,7 @@ int main() {
     for (double p : rates) {
       perf::Options opts;
       opts.loss_rate = p;
+      opts.metrics = &metrics;
       auto r = perf::measure_bandwidth(
           Mode::kUdSendRecv, sz,
           perf::default_message_count(sz, 8 * MiB), opts);
@@ -38,5 +41,6 @@ int main() {
   t.print();
   std::printf("\ndelivered fraction (complete messages only):\n");
   d.print();
+  bench::dump_metrics(metrics, metrics_path);
   return 0;
 }

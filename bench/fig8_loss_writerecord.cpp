@@ -10,11 +10,13 @@
 using namespace dgiwarp;
 using perf::Mode;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 8 — UD Write-Record bandwidth under packet loss",
                 "partial placement keeps goodput high for multi-segment "
                 "messages at low loss; dip at 64KB (first multi-datagram "
                 "size); 5% loss still breaks large messages");
+  const std::string metrics_path = bench::metrics_json_path(argc, argv);
+  telemetry::Registry metrics;
 
   const double rates[] = {0.001, 0.005, 0.01, 0.05};
   TablePrinter t({"size", "0.1% loss", "0.5% loss", "1% loss", "5% loss",
@@ -27,6 +29,7 @@ int main() {
     for (double p : rates) {
       perf::Options opts;
       opts.loss_rate = p;
+      opts.metrics = &metrics;
       auto r = perf::measure_bandwidth(
           Mode::kUdWriteRecord, sz,
           perf::default_message_count(sz, 8 * MiB), opts);
@@ -41,5 +44,6 @@ int main() {
   t.print();
   std::printf("\nvalid-bytes fraction (partial messages count):\n");
   d.print();
+  bench::dump_metrics(metrics, metrics_path);
   return 0;
 }

@@ -5,9 +5,11 @@
 // alongside what send/recv would have delivered (nothing, unless every
 // segment made it).
 //
-//   $ ./lossy_link_demo [loss%]
+//   $ ./lossy_link_demo [loss%] [--metrics-json <path>]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "simnet/fabric.hpp"
 #include "verbs/device.hpp"
@@ -15,10 +17,30 @@
 
 using namespace dgiwarp;
 
+namespace {
+
+void dump_metrics(sim::Fabric& fabric, int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--metrics-json") == 0) path = argv[i + 1];
+  if (path.empty()) return;
+  if (fabric.sim().telemetry().write_json_file(path).ok())
+    std::printf("\nmetrics written to %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "failed to write metrics to %s\n", path.c_str());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const double loss = argc > 1 ? std::atof(argv[1]) / 100.0 : 2.0 / 100.0;
+  const double loss = argc > 1 && argv[1][0] != '-'
+                          ? std::atof(argv[1]) / 100.0
+                          : 2.0 / 100.0;
 
   sim::Fabric fabric;
+  // Structured event tracing (drops, placements, expiries) is off by
+  // default; a demo is exactly where its timeline earns its cost.
+  fabric.sim().telemetry().trace().enable();
   host::Host src(fabric, "source");
   host::Host dst(fabric, "target");
   verbs::Device dev_s(src), dev_d(dst);
@@ -55,6 +77,7 @@ int main(int argc, char** argv) {
     std::printf("(the target still placed %llu segments, but cannot declare "
                 "them valid)\n",
                 static_cast<unsigned long long>(qd->stats().segments_rx));
+    dump_metrics(fabric, argc, argv);
     return 0;
   }
 
@@ -71,5 +94,6 @@ int main(int argc, char** argv) {
               rec->validity.complete(static_cast<u32>(kMsg))
                   ? "the full message (nothing was lost)"
                   : "NOTHING (all-or-nothing delivery)");
+  dump_metrics(fabric, argc, argv);
   return 0;
 }

@@ -34,6 +34,8 @@ class Samples {
   double percentile(double p) const;  // p in [0,100]
   double median() const { return percentile(50.0); }
   double mean() const;
+  /// Raw samples in insertion order (telemetry histogram merging).
+  const std::vector<double>& values() const { return xs_; }
 
  private:
   std::vector<double> xs_;

@@ -45,6 +45,11 @@ struct IpHeader {
 
 IpLayer::IpLayer(HostCtx& ctx) : ctx_(ctx) {
   ctx_.nic.set_rx_handler([this](sim::Frame f) { on_frame(std::move(f)); });
+  auto& reg = ctx_.sim.telemetry();
+  dgrams_tx_.bind(reg.counter("hoststack.ip.datagrams_tx"));
+  dgrams_rx_.bind(reg.counter("hoststack.ip.datagrams_rx"));
+  reassembly_expired_.bind(reg.counter("hoststack.ip.reassembly_expired"));
+  frags_tx_.bind(reg.counter("hoststack.ip.fragments_tx"));
 }
 
 void IpLayer::register_protocol(u8 proto, ProtocolHandler handler) {
@@ -82,6 +87,7 @@ Status IpLayer::send(u8 proto, u32 dst_ip, Bytes payload) {
     // Per-fragment kernel transmit cost; the frame enters the wire when the
     // CPU has finished preparing it.
     const TimeNs ready = ctx_.cpu.charge_kernel(ctx_.costs.ip_frag_tx);
+    ++frags_tx_;
     ctx_.sim.at(ready, [this, fr = std::move(f)]() mutable {
       ctx_.nic.send(std::move(fr));
     });
@@ -126,6 +132,9 @@ void IpLayer::on_frame(sim::Frame f) {
       auto pit = partials_.find(key);
       if (pit != partials_.end() && pit->second.generation == gen) {
         ++reassembly_expired_;
+        ctx_.sim.telemetry().trace().record(
+            telemetry::TraceKind::kIpReassemblyExpired, key.ident,
+            pit->second.received);
         DGI_DEBUG("ip", "reassembly timeout ident=%u (%zu/%zu B)", key.ident,
                   pit->second.received, pit->second.total);
         partials_.erase(pit);

@@ -74,6 +74,7 @@ class IpLayer {
   u64 datagrams_sent() const { return dgrams_tx_; }
   u64 datagrams_delivered() const { return dgrams_rx_; }
   u64 reassembly_expired() const { return reassembly_expired_; }
+  u64 fragments_sent() const { return frags_tx_; }
 
  private:
   struct FragKey {
@@ -101,9 +102,10 @@ class IpLayer {
   TimeNs reassembly_timeout_ = 30 * kMillisecond;
   u16 next_ident_ = 1;
   u64 next_generation_ = 1;
-  u64 dgrams_tx_ = 0;
-  u64 dgrams_rx_ = 0;
-  u64 reassembly_expired_ = 0;
+  telemetry::Metric dgrams_tx_;
+  telemetry::Metric dgrams_rx_;
+  telemetry::Metric reassembly_expired_;
+  telemetry::Metric frags_tx_;
 };
 
 }  // namespace dgiwarp::host

@@ -82,6 +82,12 @@ TcpSocket::TcpSocket(TcpLayer& layer, Endpoint local, Endpoint remote)
   rto_ = std::max<TimeNs>(layer_.min_rto(), 200 * kMicrosecond);
   iss_ = layer_.ctx().rng.next_u64() & 0x00FFFFFF;
   snd_una_ = snd_nxt_ = iss_;
+
+  auto& reg = layer_.ctx().sim.telemetry();
+  seg_tx_.bind(reg.counter("hoststack.tcp.segments_tx"));
+  seg_rx_.bind(reg.counter("hoststack.tcp.segments_rx"));
+  retx_.bind(reg.counter("hoststack.tcp.retransmits"));
+  delivered_bytes_.bind(reg.counter("hoststack.tcp.bytes_delivered"));
 }
 
 TcpSocket::~TcpSocket() = default;
@@ -441,8 +447,12 @@ void TcpSocket::send_segment(u64 seq, ConstByteSpan payload, u8 flags,
   ++seg_tx_;
   if (retx) {
     ++retx_;
+    auto& reg = layer_.ctx().sim.telemetry();
+    reg.trace().record(telemetry::TraceKind::kTcpRetransmit, seq,
+                       payload.size());
     rtt_pending_ = false;  // Karn's algorithm
   }
+  layer_.ctx().sim.telemetry().gauge("hoststack.tcp.cwnd_bytes").set(cwnd_);
   (void)layer_.ip().send(kIpProtoTcp, remote_.ip, std::move(dgram));
 }
 

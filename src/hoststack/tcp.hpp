@@ -152,11 +152,11 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   WritableHandler on_writable_;
   bool close_notified_ = false;
 
-  // Stats.
-  u64 seg_tx_ = 0;
-  u64 seg_rx_ = 0;
-  u64 retx_ = 0;
-  u64 delivered_bytes_ = 0;
+  // Stats (mirrored into the Simulation's registry, hoststack.tcp.*).
+  telemetry::Metric seg_tx_;
+  telemetry::Metric seg_rx_;
+  telemetry::Metric retx_;
+  telemetry::Metric delivered_bytes_;
 
   MemCharge mem_;
 };

@@ -37,7 +37,12 @@ UdpSocket::UdpSocket(UdpLayer& layer, u16 port)
       port_(port),
       mem_(layer.ctx().ledger, "udp.sock",
            static_cast<i64>(layer.ctx().costs.udp_sock_bytes +
-                            layer.ctx().costs.udp_buf_bytes)) {}
+                            layer.ctx().costs.udp_buf_bytes)) {
+  auto& reg = layer_.ctx().sim.telemetry();
+  tx_count_.bind(reg.counter("hoststack.udp.datagrams_tx"));
+  rx_count_.bind(reg.counter("hoststack.udp.datagrams_rx"));
+  rx_dropped_full_.bind(reg.counter("hoststack.udp.rx_dropped_full"));
+}
 
 Status UdpSocket::send_to(Endpoint dst, const GatherList& data) {
   if (data.total_size() > kMaxUdpPayload)

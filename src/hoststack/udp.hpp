@@ -51,9 +51,9 @@ class UdpSocket {
   DatagramHandler handler_;
   std::deque<std::pair<Endpoint, Bytes>> rx_queue_;
   std::size_t rx_queue_limit_ = 256;  // datagrams; overflow drops (like SO_RCVBUF)
-  u64 tx_count_ = 0;
-  u64 rx_count_ = 0;
-  u64 rx_dropped_full_ = 0;
+  telemetry::Metric tx_count_;
+  telemetry::Metric rx_count_;
+  telemetry::Metric rx_dropped_full_;
   MemCharge mem_;
 };
 

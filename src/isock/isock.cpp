@@ -34,6 +34,16 @@ const ISockStack::Sock* ISockStack::find(int fd) const {
   return it == socks_.end() ? nullptr : &it->second;
 }
 
+void ISockStack::bind_sock_telemetry(Sock& s) {
+  auto& reg = dev_.host().sim().telemetry();
+  s.stats.datagrams_tx.bind(reg.counter("isock.dgram.tx"));
+  s.stats.datagrams_rx.bind(reg.counter("isock.dgram.rx"));
+  s.stats.bytes_tx.bind(reg.counter("isock.bytes.tx"));
+  s.stats.bytes_rx.bind(reg.counter("isock.bytes.rx"));
+  s.stats.rx_dropped_no_slot.bind(
+      reg.counter("isock.pool.rx_dropped_no_slot"));
+}
+
 Result<int> ISockStack::socket(SockType type, std::size_t pool_slots,
                                std::size_t slot_bytes) {
   const int fd = next_fd_++;
@@ -41,7 +51,8 @@ Result<int> ISockStack::socket(SockType type, std::size_t pool_slots,
   s.type = type;
   s.pool_slots = pool_slots ? pool_slots : cfg_.pool_slots;
   s.slot_bytes = slot_bytes ? slot_bytes : cfg_.slot_bytes;
-  socks_.emplace(fd, std::move(s));
+  auto [it, _] = socks_.emplace(fd, std::move(s));
+  bind_sock_telemetry(it->second);
   return fd;
 }
 
@@ -178,11 +189,16 @@ void ISockStack::deliver_datagram(Sock& s, Endpoint src, ConstByteSpan data) {
     s.on_datagram(src, data);
     return;
   }
+  auto& reg = dev_.host().sim().telemetry();
   if (s.rx_queue.size() >= s.rx_queue_limit) {
     ++s.stats.rx_dropped_no_slot;
+    reg.trace().record(telemetry::TraceKind::kIsockDropNoSlot,
+                       static_cast<u64>(src.port), data.size());
     return;
   }
   s.rx_queue.emplace_back(src, Bytes(data.begin(), data.end()));
+  reg.gauge("isock.pool.rx_queue_depth")
+      .set(static_cast<double>(s.rx_queue.size()));
 }
 
 void ISockStack::handle_control(Sock& s, Endpoint src, ConstByteSpan data) {
@@ -463,6 +479,7 @@ Status ISockStack::listen(int fd, AcceptHandler on_accept) {
         ns.slot_bytes = ls->slot_bytes;
         ns.rc = std::move(qp);
         auto [it, _] = socks_.emplace(newfd, std::move(ns));
+        bind_sock_telemetry(it->second);
         wire_stream_qp(newfd, it->second);
         if (ls->on_accept) ls->on_accept(newfd);
       });
@@ -513,9 +530,10 @@ Status ISockStack::close(int fd) {
   return Status::Ok();
 }
 
-const ISockStats& ISockStack::stats(int fd) const {
+Result<const ISockStats*> ISockStack::stats(int fd) const {
   const Sock* s = find(fd);
-  return s ? s->stats : zero_stats_;
+  if (!s) return Status(Errc::kInvalidArgument, "bad fd");
+  return &s->stats;
 }
 
 }  // namespace dgiwarp::isock

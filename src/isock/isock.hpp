@@ -46,12 +46,14 @@ struct ISockConfig {
   std::size_t slot_bytes = 64 * 1024;
 };
 
+/// Per-socket counters, also aggregated into the Simulation registry under
+/// isock.* (drops feed the acceptance metric isock.pool.rx_dropped_no_slot).
 struct ISockStats {
-  u64 datagrams_tx = 0;
-  u64 datagrams_rx = 0;
-  u64 bytes_tx = 0;
-  u64 bytes_rx = 0;
-  u64 rx_dropped_no_slot = 0;
+  telemetry::Metric datagrams_tx;
+  telemetry::Metric datagrams_rx;
+  telemetry::Metric bytes_tx;
+  telemetry::Metric bytes_rx;
+  telemetry::Metric rx_dropped_no_slot;
 };
 
 /// Per-host socket interface instance. All calls are nonblocking; receive
@@ -96,7 +98,9 @@ class ISockStack {
 
   Status close(int fd);
 
-  const ISockStats& stats(int fd) const;
+  /// Per-socket counters. Fails with kInvalidArgument for an unknown fd
+  /// (previously an all-zero sentinel was returned, silently masking typos).
+  Result<const ISockStats*> stats(int fd) const;
   std::size_t open_sockets() const { return socks_.size(); }
   verbs::Device& device() { return dev_; }
   const ISockConfig& config() const { return cfg_; }
@@ -156,6 +160,7 @@ class ISockStack {
 
   Sock* find(int fd);
   const Sock* find(int fd) const;
+  void bind_sock_telemetry(Sock& s);
   Status setup_datagram(int fd, Sock& s, u16 port);
   void pump_recv_cq(Sock& s);
   void post_pool_recvs(Sock& s);
@@ -176,7 +181,6 @@ class ISockStack {
   int next_fd_ = 3;
   std::map<int, Sock> socks_;
   std::map<u32, int> qpn_fd_;  // stream QP -> fd (CQs are shared on accept)
-  ISockStats zero_stats_;
 };
 
 }  // namespace dgiwarp::isock

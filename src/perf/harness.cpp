@@ -221,6 +221,7 @@ LatencyResult measure_latency(Mode mode, std::size_t msg_size, int iterations,
   LatencyResult r;
   r.iterations = measured;
   r.half_rtt_us = measured > 0 ? total_rtt_us / measured : 0.0;
+  if (opts.metrics) opts.metrics->merge_from(rig.sim().telemetry());
   return r;
 }
 
@@ -297,6 +298,7 @@ BandwidthResult measure_bandwidth(Mode mode, std::size_t msg_size,
       static_cast<double>(delivered_bytes) /
       (static_cast<double>(msg_size) * static_cast<double>(messages));
   r.goodput_MBps = rate_MBps(delivered_bytes, t_end - t0);
+  if (opts.metrics) opts.metrics->merge_from(rig.sim().telemetry());
   return r;
 }
 

@@ -10,6 +10,10 @@
 
 #include "common/types.hpp"
 
+namespace dgiwarp::telemetry {
+class Registry;
+}
+
 namespace dgiwarp::perf {
 
 /// Transport/operation mode under test.
@@ -33,6 +37,9 @@ struct Options {
   bool ud_crc = true;
   std::size_t max_ud_payload = 65'507;  // per-datagram budget (MTU ablation)
   TimeNs ud_message_timeout = 20 * kMillisecond;
+  /// When set, the measurement Simulation's telemetry registry is merged
+  /// into this aggregate after the run (bench --metrics-json support).
+  telemetry::Registry* metrics = nullptr;
 };
 
 struct LatencyResult {

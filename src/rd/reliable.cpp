@@ -14,6 +14,15 @@ ReliableDatagram::ReliableDatagram(host::HostCtx& ctx,
     : ctx_(ctx), socket_(socket), config_(config) {
   socket_.set_handler(
       [this](Endpoint src, Bytes data) { on_raw(src, std::move(data)); });
+
+  auto& reg = ctx_.sim.telemetry();
+  stats_.data_tx.bind(reg.counter("rd.data_tx"));
+  stats_.data_rx.bind(reg.counter("rd.data_rx"));
+  stats_.retransmits.bind(reg.counter("rd.retries"));
+  stats_.duplicates.bind(reg.counter("rd.duplicates"));
+  stats_.acks_tx.bind(reg.counter("rd.acks_tx"));
+  stats_.acks_rx.bind(reg.counter("rd.acks_rx"));
+  stats_.give_ups.bind(reg.counter("rd.give_ups"));
 }
 
 Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
@@ -47,7 +56,12 @@ void ReliableDatagram::transmit(Endpoint dst, u64 seq, PeerTx& tx) {
   if (it == tx.unacked.end()) return;
   ctx_.cpu.charge(ctx_.costs.rd_tx_fixed);
   ++stats_.data_tx;
-  if (it->second.retries > 0) ++stats_.retransmits;
+  if (it->second.retries > 0) {
+    ++stats_.retransmits;
+    ctx_.sim.telemetry().trace().record(
+        telemetry::TraceKind::kRdRetransmit, seq,
+        static_cast<u64>(it->second.retries));
+  }
   (void)socket_.send_to(dst, ConstByteSpan{it->second.wire});
   arm_timer(dst, seq);
 }
@@ -65,6 +79,8 @@ void ReliableDatagram::arm_timer(Endpoint dst, u64 seq) {
     if (p == peer->second.unacked.end() || p->second.timer_gen != gen) return;
     if (++p->second.retries > config_.max_retries) {
       ++stats_.give_ups;
+      ctx_.sim.telemetry().trace().record(telemetry::TraceKind::kRdGiveUp, seq,
+                                          static_cast<u64>(dst.port));
       peer->second.unacked.erase(p);
       DGI_WARN("rd", "giving up on seq %llu to %u:%u",
                static_cast<unsigned long long>(seq), dst.ip, dst.port);

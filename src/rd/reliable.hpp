@@ -14,6 +14,7 @@
 #include <map>
 
 #include "hoststack/udp.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dgiwarp::rd {
 
@@ -26,14 +27,16 @@ struct RdConfig {
   bool ordered = true;              // deliver in send order per peer
 };
 
+/// Per-endpoint RD counters. Each field also feeds the owning Simulation's
+/// telemetry registry under rd.* (retransmits maps to "rd.retries").
 struct RdStats {
-  u64 data_tx = 0;
-  u64 data_rx = 0;
-  u64 retransmits = 0;
-  u64 duplicates = 0;
-  u64 acks_tx = 0;
-  u64 acks_rx = 0;
-  u64 give_ups = 0;  // datagrams dropped after max_retries
+  telemetry::Metric data_tx;
+  telemetry::Metric data_rx;
+  telemetry::Metric retransmits;
+  telemetry::Metric duplicates;
+  telemetry::Metric acks_tx;
+  telemetry::Metric acks_rx;
+  telemetry::Metric give_ups;  // datagrams dropped after max_retries
 };
 
 /// Wraps a UdpSocket with reliability. The socket's receive handler is

@@ -23,6 +23,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dgiwarp::rdmap {
 
@@ -69,6 +70,11 @@ class WriteRecordLog {
     bool late = false;               // chunk for an already-completed message
   };
 
+  /// Attach this log to the owning Simulation's registry (rdmap.write_record
+  /// metrics + trace events). The log sits below the simnet layer and has no
+  /// Simulation handle of its own, so the owning QP wires it up.
+  void bind_telemetry(telemetry::Registry& reg);
+
   /// Record an arriving chunk (already placed by the DDP layer).
   /// `to` is the chunk's target offset; `base` = to - mo identifies the
   /// message's origin so the completion can report where the data landed.
@@ -100,7 +106,12 @@ class WriteRecordLog {
   std::map<Key, Record> records_;
   std::vector<WriteRecordCompletion> completed_;
   std::map<Key, TimeNs> recently_completed_;  // late-chunk detection
-  u64 late_chunks_ = 0;
+  telemetry::Registry* reg_ = nullptr;
+  telemetry::Metric chunks_;
+  telemetry::Metric completed_msgs_;
+  telemetry::Metric out_of_order_;
+  telemetry::Metric expired_;
+  telemetry::Metric late_chunks_;
 };
 
 }  // namespace dgiwarp::rdmap

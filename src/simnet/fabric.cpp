@@ -13,6 +13,7 @@ std::size_t Fabric::add_host(const std::string& name) {
   const std::size_t index = nics_.size();
   const LinkAddr addr = static_cast<LinkAddr>(index + 1);
   nics_.push_back(std::make_unique<Nic>(addr, name));
+  nics_.back()->bind_telemetry(sim_.telemetry());
   switch_->attach(*nics_.back(), params_.link);
   return index;
 }

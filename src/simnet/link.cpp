@@ -7,7 +7,14 @@
 namespace dgiwarp::sim {
 
 Link::Link(Simulation& sim, Rng& rng, LinkParams params, std::string name)
-    : sim_(sim), rng_(rng), params_(params), name_(std::move(name)) {}
+    : sim_(sim), rng_(rng), params_(params), name_(std::move(name)) {
+  auto& reg = sim_.telemetry();
+  stats_.frames_offered.bind(reg.counter("simnet.link.frames_offered"));
+  stats_.frames_dropped.bind(reg.counter("simnet.link.drops"));
+  stats_.frames_delivered.bind(reg.counter("simnet.link.frames_delivered"));
+  stats_.bytes_delivered.bind(reg.counter("simnet.link.bytes_delivered"));
+  stats_.frames_queued.bind(reg.counter("simnet.link.frames_queued"));
+}
 
 TimeNs Link::serialization_delay(std::size_t wire_bytes) const {
   const double bits = static_cast<double>(wire_bytes) * 8.0;
@@ -22,8 +29,16 @@ void Link::transmit(Frame f) {
   const TimeNs tx_done = start + serialization_delay(f.wire_bytes());
   busy_until_ = tx_done;
 
+  auto& reg = sim_.telemetry();
+  if (start > sim_.now()) {
+    ++stats_.frames_queued;
+    reg.gauge("simnet.link.queue_wait_ns").set(
+        static_cast<double>(start - sim_.now()));
+  }
+
   if (faults_.loss && faults_.loss->should_drop(rng_)) {
     ++stats_.frames_dropped;
+    reg.trace().record(telemetry::TraceKind::kLinkDrop, f.id, f.wire_bytes());
     DGI_TRACE("link", "%s dropped frame id=%llu (%zu B)", name_.c_str(),
               static_cast<unsigned long long>(f.id), f.payload.size());
     return;  // the wire time is still consumed; the bits just die

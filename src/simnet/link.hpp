@@ -17,11 +17,14 @@ struct LinkParams {
   TimeNs propagation = 300;     // ~60 m of fibre + PHY
 };
 
+/// Per-link view; every field mirrors into the owning Simulation's
+/// telemetry registry under simnet.link.* (aggregated across links).
 struct LinkStats {
-  u64 frames_offered = 0;
-  u64 frames_dropped = 0;
-  u64 frames_delivered = 0;
-  u64 bytes_delivered = 0;
+  telemetry::Metric frames_offered;
+  telemetry::Metric frames_dropped;
+  telemetry::Metric frames_delivered;
+  telemetry::Metric bytes_delivered;
+  telemetry::Metric frames_queued;  // frames that waited for the wire
 };
 
 class Link {

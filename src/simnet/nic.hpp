@@ -22,6 +22,13 @@ class Nic {
   /// ingress. Called by the fabric builder.
   void attach_tx(Link* tx) { tx_ = tx; }
 
+  /// Mirror frame counters into `reg` (simnet.nic.*). Called by the fabric
+  /// builder right after construction.
+  void bind_telemetry(telemetry::Registry& reg) {
+    tx_frames_.bind(reg.counter("simnet.nic.tx_frames"));
+    rx_frames_.bind(reg.counter("simnet.nic.rx_frames"));
+  }
+
   void set_rx_handler(RxHandler h) { rx_ = std::move(h); }
 
   /// Transmit a frame (stamps src address and a unique id).
@@ -38,8 +45,8 @@ class Nic {
   std::string name_;
   Link* tx_ = nullptr;
   RxHandler rx_;
-  u64 tx_frames_ = 0;
-  u64 rx_frames_ = 0;
+  telemetry::Metric tx_frames_;
+  telemetry::Metric rx_frames_;
   inline static u64 next_frame_id_ = 1;
 };
 

@@ -15,7 +15,8 @@ bool Simulation::step() {
   // so copy the task handle (std::function copy) and pop.
   Event ev = queue_.top();
   queue_.pop();
-  now_ = ev.time;
+  advance_clock(ev.time);
+  if (observer_) observer_->on_event(ev.time, ev.seq);
   ++executed_;
   ev.task();
   return true;
@@ -33,7 +34,7 @@ std::size_t Simulation::run_until(TimeNs t) {
     step();
     ++n;
   }
-  if (now_ < t) now_ = t;
+  if (now_ < t) advance_clock(t);
   return n;
 }
 
@@ -42,7 +43,7 @@ bool Simulation::run_while_pending(const std::function<bool()>& done,
   while (!done()) {
     if (queue_.empty() || queue_.top().time > deadline) {
       // Timed out: the wait consumed its timeout (callers measure time).
-      if (now_ < deadline) now_ = deadline;
+      if (now_ < deadline) advance_clock(deadline);
       return false;
     }
     step();

@@ -7,7 +7,10 @@ namespace dgiwarp::sim {
 Switch::Switch(Simulation& sim, Rng& rng, TimeNs forwarding_latency,
                std::string name)
     : sim_(sim), rng_(rng), latency_(forwarding_latency),
-      name_(std::move(name)) {}
+      name_(std::move(name)) {
+  forwarded_.bind(sim_.telemetry().counter("simnet.switch.frames_forwarded"));
+  flooded_.bind(sim_.telemetry().counter("simnet.switch.frames_flooded"));
+}
 
 std::size_t Switch::attach(Nic& host, LinkParams params) {
   const std::size_t port = up_.size();

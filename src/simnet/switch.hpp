@@ -42,8 +42,8 @@ class Switch {
   std::vector<std::unique_ptr<Link>> up_;    // host -> switch
   std::vector<std::unique_ptr<Link>> down_;  // switch -> host
   std::unordered_map<LinkAddr, std::size_t> fdb_;
-  u64 forwarded_ = 0;
-  u64 flooded_ = 0;
+  telemetry::Metric forwarded_;
+  telemetry::Metric flooded_;
 };
 
 }  // namespace dgiwarp::sim

@@ -1,0 +1,176 @@
+#include "telemetry/registry.hpp"
+
+#include <cstdio>
+
+namespace dgiwarp::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_key(std::string& out, const std::string& name) {
+  out += '"';
+  append_escaped(out, name);
+  out += "\":";
+}
+
+// Deterministic double formatting: %.17g round-trips exactly, so the same
+// accumulated value always prints the same bytes.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, u64 v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+Registry::Registry() { trace_.set_clock(&now_); }
+
+u64 Registry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool Registry::has(const std::string& name) const {
+  return counters_.contains(name) || gauges_.contains(name) ||
+         histograms_.contains(name);
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].inc(c.value());
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauges_[name];
+    mine.set(g.max());  // capture the peak...
+    mine.set(g.value());  // ...then leave the most recent value current
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    Histogram& mine = histograms_[name];
+    for (double x : h.samples().values()) mine.add(x);
+  }
+  if (trace_.enabled()) {
+    for (const TraceEvent& e : other.trace_.snapshot()) trace_.push(e);
+  }
+  if (other.now_ > now_) now_ = other.now_;
+}
+
+std::string Registry::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"dgiwarp.telemetry.v1\",\n  \"virtual_time_ns\": ";
+  append_u64(out, static_cast<u64>(now_));
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_key(out, name);
+    append_u64(out, c.value());
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_key(out, name);
+    out += "{\"value\":";
+    append_double(out, g.value());
+    out += ",\"max\":";
+    append_double(out, g.max());
+    out += '}';
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_key(out, name);
+    out += "{\"count\":";
+    append_u64(out, h.count());
+    out += ",\"mean\":";
+    append_double(out, h.mean());
+    out += ",\"min\":";
+    append_double(out, h.stat().min());
+    out += ",\"max\":";
+    append_double(out, h.stat().max());
+    out += ",\"p50\":";
+    append_double(out, h.percentile(50.0));
+    out += ",\"p90\":";
+    append_double(out, h.percentile(90.0));
+    out += ",\"p99\":";
+    append_double(out, h.percentile(99.0));
+    out += '}';
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"trace\": {\"enabled\": ";
+  out += trace_.enabled() ? "true" : "false";
+  out += ", \"capacity\": ";
+  append_u64(out, trace_.capacity());
+  out += ", \"recorded\": ";
+  append_u64(out, trace_.recorded());
+  out += ", \"dropped\": ";
+  append_u64(out, trace_.dropped());
+  out += ", \"events\": [";
+  first = true;
+  for (const TraceEvent& e : trace_.snapshot()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"t\":";
+    append_u64(out, static_cast<u64>(e.t));
+    out += ",\"kind\":\"";
+    out += trace_kind_name(e.kind);
+    out += "\",\"a\":";
+    append_u64(out, e.a);
+    out += ",\"b\":";
+    append_u64(out, e.b);
+    out += '}';
+  }
+  out += first ? "]}" : "\n  ]}";
+  out += "\n}\n";
+  return out;
+}
+
+Status Registry::write_json_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status(Errc::kNotFound, "cannot open " + path);
+  const std::string json = to_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size())
+    return Status(Errc::kResourceExhausted, "short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace dgiwarp::telemetry

@@ -1,0 +1,164 @@
+// Unified cross-layer metrics registry — the one stats surface for the
+// whole stack.
+//
+// Every layer (simnet links/switch/NIC, hoststack IP/TCP, the RD layer,
+// verbs CQs/QPs, rdmap Write-Record, isock) publishes its counters here
+// under dotted `layer.component.metric` names (see DESIGN.md §Telemetry).
+// The registry is scoped to one Simulation: metrics never leak between
+// experiments, insertion is name-ordered (std::map), and values are
+// integers or deterministically formatted doubles, so two runs with the
+// same seed export byte-identical JSON.
+//
+// The legacy per-instance stats structs (LinkStats, RdStats, UdQpStats,
+// ISockStats, ...) remain the per-object view: their fields are
+// telemetry::Metric values whose increments mirror into a bound aggregate
+// Counter, so `link.stats().frames_dropped` and the registry's
+// `simnet.link.drops` are two views of the same event stream.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "telemetry/trace.hpp"
+
+namespace dgiwarp::telemetry {
+
+/// Monotonic aggregate counter. References returned by
+/// Registry::counter() are stable for the registry's lifetime.
+class Counter {
+ public:
+  void inc(u64 n = 1) { v_ += n; }
+  u64 value() const { return v_; }
+
+ private:
+  u64 v_ = 0;
+};
+
+/// Last-value gauge that also remembers its high-water mark (queue depths,
+/// cwnd, pool occupancy).
+class Gauge {
+ public:
+  void set(double v) {
+    v_ = v;
+    if (!seen_ || v > max_) max_ = v;
+    seen_ = true;
+  }
+  void add(double d) { set(v_ + d); }
+  double value() const { return v_; }
+  double max() const { return seen_ ? max_ : 0.0; }
+
+ private:
+  double v_ = 0.0;
+  double max_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Distribution with exact percentiles (common/stats.hpp Samples) plus
+/// streaming moments. Intended for bounded-count series (per-WR latency,
+/// per-completion queue depth), not per-byte events.
+class Histogram {
+ public:
+  void add(double x) {
+    samples_.add(x);
+    stat_.add(x);
+  }
+  std::size_t count() const { return stat_.count(); }
+  double mean() const { return stat_.mean(); }
+  double percentile(double p) const { return samples_.percentile(p); }
+  const RunningStat& stat() const { return stat_; }
+  const Samples& samples() const { return samples_; }
+
+ private:
+  Samples samples_;
+  RunningStat stat_;
+};
+
+/// One field of a per-instance stats struct: an instance-local count whose
+/// increments mirror into an aggregate registry Counter once bound. This is
+/// what lets `LinkStats`/`RdStats`/... keep their exact field names and
+/// `stats()` accessors while the registry becomes the cross-layer surface.
+class Metric {
+ public:
+  Metric() = default;
+  Metric(u64 v) : local_(v) {}  // NOLINT — keeps `u64`-style initializers
+
+  /// Mirror future increments into `aggregate` (additive with any earlier
+  /// local count; bind before the first increment for exact agreement).
+  void bind(Counter& aggregate) { agg_ = &aggregate; }
+
+  void inc(u64 n = 1) {
+    local_ += n;
+    if (agg_) agg_->inc(n);
+  }
+  Metric& operator++() {
+    inc();
+    return *this;
+  }
+  void operator++(int) { inc(); }
+  Metric& operator+=(u64 n) {
+    inc(n);
+    return *this;
+  }
+
+  u64 value() const { return local_; }
+  operator u64() const { return local_; }  // NOLINT — reads stay `u64`-like
+
+ private:
+  u64 local_ = 0;
+  Counter* agg_ = nullptr;
+};
+
+/// Per-Simulation metrics store. Obtain via sim::Simulation::telemetry()
+/// (every layer can reach it through its HostCtx / Device / fabric handle).
+class Registry {
+ public:
+  Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Names are dotted `layer.component.metric` (DESIGN.md
+  /// §Telemetry); returned references stay valid for the registry's life.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Read-only lookup without creating (0 / nullptr when absent).
+  u64 counter_value(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  /// Virtual-clock mirror. Advanced by the owning Simulation as events
+  /// execute; trace events are stamped from it so instrumented layers never
+  /// call Simulation::now() themselves.
+  TimeNs now() const { return now_; }
+  void advance_clock(TimeNs t) { now_ = t; }
+
+  /// Fold another registry into this one (counters add, gauges keep the
+  /// overall max / latest value, histogram samples append, trace events
+  /// append when tracing is enabled here). Used by the bench harness to
+  /// aggregate the per-measurement Simulations behind one --metrics-json.
+  void merge_from(const Registry& other);
+
+  /// Deterministic JSON export: keys sorted (map iteration), integers
+  /// exact, doubles via "%.17g". Same seed -> byte-identical document.
+  std::string to_json() const;
+  Status write_json_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  TraceRing trace_;
+  TimeNs now_ = 0;
+};
+
+}  // namespace dgiwarp::telemetry

@@ -1,0 +1,106 @@
+// Bounded structured event trace: a fixed-capacity ring of (virtual time,
+// kind, operands) tuples recording the cross-layer events the paper's loss
+// analysis hinges on — link drops, RD retransmits, Write-Record placements,
+// CQ completions.
+//
+// Tracing is DISABLED by default and must cost near zero on the hot path:
+// record() is a single predictable branch when disabled. For builds that
+// want the cost provably gone, NullSink below is a drop-in whose record()
+// is a constexpr no-op; the TraceSinkLike concept lets call sites check at
+// compile time that either sink satisfies the same surface.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dgiwarp::telemetry {
+
+/// Event vocabulary. One enumerator per cross-layer occurrence worth
+/// correlating in a post-mortem; operands a/b are kind-specific.
+enum class TraceKind : u8 {
+  kLinkDrop = 0,          // a = frame id, b = wire bytes
+  kLinkDeliver,           // a = frame id, b = payload bytes
+  kIpReassemblyExpired,   // a = ident, b = bytes received
+  kTcpRetransmit,         // a = sequence, b = payload bytes
+  kRdRetransmit,          // a = sequence, b = retry count
+  kRdGiveUp,              // a = sequence, b = peer port
+  kWriteRecordChunk,      // a = message id, b = chunk bytes
+  kWriteRecordComplete,   // a = message id, b = valid bytes
+  kWriteRecordExpired,    // a = message id, b = valid bytes at expiry
+  kCqCompletion,          // a = wr_id, b = byte_len
+  kCqOverrun,             // a = wr_id, b = capacity
+  kIsockDropNoSlot,       // a = source port, b = datagram bytes
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceEvent {
+  TimeNs t = 0;
+  TraceKind kind = TraceKind::kLinkDrop;
+  u64 a = 0;
+  u64 b = 0;
+};
+
+/// Shape shared by the live ring and the compile-time no-op sink.
+template <typename S>
+concept TraceSinkLike = requires(S s, TraceKind k, u64 v) {
+  { s.enabled() } -> std::convertible_to<bool>;
+  s.record(k, v, v);
+};
+
+/// Fixed-capacity ring: once full, the oldest event is overwritten and
+/// counted in dropped(). Memory is bounded by capacity regardless of run
+/// length. Timestamps come from the clock pointer wired by the owning
+/// Registry (mirrored from the Simulation), so instrumented layers never
+/// re-read Simulation::now().
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Start recording. Re-enabling with a new capacity clears the ring.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable() { enabled_ = false; }
+
+  bool enabled() const { return enabled_; }
+
+  void record(TraceKind kind, u64 a = 0, u64 b = 0) {
+    if (!enabled_) return;  // the whole hot-path cost when tracing is off
+    push(TraceEvent{clock_ ? *clock_ : 0, kind, a, b});
+  }
+
+  /// Events currently held, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t capacity() const { return cap_; }
+  u64 recorded() const { return recorded_; }
+  /// Events overwritten because the ring was full.
+  u64 dropped() const { return recorded_ > cap_ ? recorded_ - cap_ : 0; }
+
+ private:
+  friend class Registry;
+  void set_clock(const TimeNs* clock) { clock_ = clock; }
+  void push(TraceEvent e);
+
+  bool enabled_ = false;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;  // next write position
+  std::vector<TraceEvent> ring_;
+  u64 recorded_ = 0;
+  const TimeNs* clock_ = nullptr;
+};
+
+/// Compile-time no-op sink: substitute for TraceRing where tracing must be
+/// provably free. Every call collapses to nothing at -O0 already.
+struct NullSink {
+  static constexpr bool kNoop = true;
+  constexpr bool enabled() const { return false; }
+  constexpr void record(TraceKind, u64 = 0, u64 = 0) const {}
+};
+
+static_assert(TraceSinkLike<TraceRing>);
+static_assert(TraceSinkLike<NullSink>);
+
+}  // namespace dgiwarp::telemetry

@@ -5,15 +5,26 @@
 namespace dgiwarp::verbs {
 
 CompletionQueue::CompletionQueue(host::Host& host, std::size_t capacity)
-    : host_(host), capacity_(capacity) {}
+    : host_(host), capacity_(capacity) {
+  auto& reg = host_.sim().telemetry();
+  completions_.bind(reg.counter("verbs.cq.completions"));
+  overruns_.bind(reg.counter("verbs.cq.overruns"));
+}
 
 void CompletionQueue::push(Completion c) {
+  auto& reg = host_.sim().telemetry();
   if (q_.size() >= capacity_) {
     ++overruns_;
+    reg.trace().record(telemetry::TraceKind::kCqOverrun, c.wr_id,
+                       static_cast<u64>(capacity_));
     DGI_WARN("cq", "completion queue overrun (capacity %zu)", capacity_);
     return;
   }
   q_.push_back(std::move(c));
+  reg.histogram("verbs.cq.depth").add(static_cast<double>(q_.size()));
+  ++completions_;
+  reg.trace().record(telemetry::TraceKind::kCqCompletion, q_.back().wr_id,
+                     static_cast<u64>(q_.back().byte_len));
   if (on_event_) on_event_();
 }
 

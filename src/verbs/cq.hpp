@@ -49,7 +49,8 @@ class CompletionQueue {
   std::size_t capacity_;
   std::deque<Completion> q_;
   std::function<void()> on_event_;
-  u64 overruns_ = 0;
+  telemetry::Metric completions_;
+  telemetry::Metric overruns_;
 };
 
 }  // namespace dgiwarp::verbs

@@ -42,6 +42,12 @@ RcQueuePair::RcQueuePair(Device& dev, const RcQpAttr& attr)
       mpa_tx_(dev.config().mpa),
       mpa_rx_(dev.config().mpa) {
   mpa_rx_.on_ulpdu([this](Bytes ulpdu) { on_ulpdu(std::move(ulpdu)); });
+  auto& reg = dev_.host().sim().telemetry();
+  stats_.segments_tx.bind(reg.counter("verbs.rc.segments_tx"));
+  stats_.segments_rx.bind(reg.counter("verbs.rc.segments_rx"));
+  stats_.fpdu_crc_failures.bind(reg.counter("verbs.rc.fpdu_crc_failures"));
+  stats_.terminates_rx.bind(reg.counter("verbs.rc.terminates_rx"));
+  wr_log_.bind_telemetry(reg);
 }
 
 RcQueuePair::~RcQueuePair() {
@@ -233,7 +239,7 @@ Status RcQueuePair::post_send(const SendWr& wr) {
     std::optional<TxCompletion> done;
     if (seg.last)
       done = TxCompletion{wr.wr_id, wc_of(wr.opcode), wr.local.size(),
-                          wr.signaled};
+                          wr.signaled, dev_.host().sim().now()};
     enqueue_segment(h, wr.local.subspan(seg.offset, seg.length), done);
   }
   return Status::Ok();
@@ -290,6 +296,10 @@ void RcQueuePair::drain_tx() {
   // Fire completions whose whole message has been accepted by the LLP.
   while (!tx_marks_.empty() && tx_marks_.front().first <= tx_accepted_abs_) {
     const TxCompletion& done = tx_marks_.front().second;
+    // WR tx latency: post_send until the LLP accepted the last byte.
+    dev_.host().sim().telemetry().histogram("verbs.wr.tx_latency_us").add(
+        static_cast<double>(dev_.host().sim().now() - done.posted_at) /
+        1000.0);
     // "Passed to the LLP": the last byte was accepted by the TCP socket.
     complete_send(done.wr_id, done.op, done.bytes, Status::Ok(),
                   done.signaled);

@@ -19,11 +19,12 @@
 
 namespace dgiwarp::verbs {
 
+/// Per-QP counters, also aggregated into the Simulation registry (verbs.rc.*).
 struct RcQpStats {
-  u64 segments_tx = 0;
-  u64 segments_rx = 0;
-  u64 fpdu_crc_failures = 0;
-  u64 terminates_rx = 0;
+  telemetry::Metric segments_tx;
+  telemetry::Metric segments_rx;
+  telemetry::Metric fpdu_crc_failures;
+  telemetry::Metric terminates_rx;
 };
 
 class RcQueuePair final : public QueuePair,
@@ -73,6 +74,7 @@ class RcQueuePair final : public QueuePair,
     WcOpcode op = WcOpcode::kSend;
     std::size_t bytes = 0;
     bool signaled = true;
+    TimeNs posted_at = 0;  // for the verbs.wr.tx_latency_us histogram
   };
   void enqueue_segment(const ddp::SegmentHeader& h, ConstByteSpan payload,
                        std::optional<TxCompletion> completes_wr);

@@ -37,6 +37,19 @@ UdQueuePair::UdQueuePair(Device& dev, const UdQpAttr& attr,
                 dev.alloc_qpn(), "iwarp.ud_qp",
                 dev.host().costs().ud_qp_bytes),
       socket_(socket) {
+  auto& reg = dev_.host().sim().telemetry();
+  stats_.segments_tx.bind(reg.counter("verbs.ud.segments_tx"));
+  stats_.segments_rx.bind(reg.counter("verbs.ud.segments_rx"));
+  stats_.crc_drops.bind(reg.counter("verbs.ud.crc_drops"));
+  stats_.no_buffer_drops.bind(reg.counter("verbs.ud.no_buffer_drops"));
+  stats_.expired_messages.bind(reg.counter("verbs.ud.expired_messages"));
+  stats_.expired_records.bind(reg.counter("verbs.ud.expired_records"));
+  stats_.late_chunks.bind(reg.counter("verbs.ud.late_chunks"));
+  stats_.placement_errors.bind(reg.counter("verbs.ud.placement_errors"));
+  stats_.terminates_rx.bind(reg.counter("verbs.ud.terminates_rx"));
+  stats_.rd_failures.bind(reg.counter("verbs.ud.rd_failures"));
+  wr_log_.bind_telemetry(reg);
+
   if (attr.reliable) {
     rd_ = std::make_unique<rd::ReliableDatagram>(dev.host().ctx(), *socket_,
                                                  dev.config().rd);

@@ -22,17 +22,18 @@
 
 namespace dgiwarp::verbs {
 
+/// Per-QP counters, also aggregated into the Simulation registry (verbs.ud.*).
 struct UdQpStats {
-  u64 segments_tx = 0;
-  u64 segments_rx = 0;
-  u64 crc_drops = 0;
-  u64 no_buffer_drops = 0;
-  u64 expired_messages = 0;   // send/recv messages that timed out
-  u64 expired_records = 0;    // Write-Records whose LAST never arrived
-  u64 late_chunks = 0;
-  u64 placement_errors = 0;
-  u64 terminates_rx = 0;
-  u64 rd_failures = 0;        // RD layer gave up on a datagram
+  telemetry::Metric segments_tx;
+  telemetry::Metric segments_rx;
+  telemetry::Metric crc_drops;
+  telemetry::Metric no_buffer_drops;
+  telemetry::Metric expired_messages;   // send/recv messages that timed out
+  telemetry::Metric expired_records;    // Write-Records whose LAST never arrived
+  telemetry::Metric late_chunks;
+  telemetry::Metric placement_errors;
+  telemetry::Metric terminates_rx;
+  telemetry::Metric rd_failures;        // RD layer gave up on a datagram
 };
 
 class UdQueuePair final : public QueuePair,

@@ -193,9 +193,15 @@ TEST(ISock, StatsTrackTraffic) {
   ASSERT_TRUE(r.io_a.sendto(cfd, r.b.endpoint(9000), ConstByteSpan{msg}).ok());
   r.fabric.sim().run_until(r.fabric.sim().now() + 5 * kMillisecond);
   (void)r.io_b.recvfrom(sfd);
-  EXPECT_EQ(r.io_a.stats(cfd).datagrams_tx, 1u);
-  EXPECT_EQ(r.io_a.stats(cfd).bytes_tx, 256u);
-  EXPECT_EQ(r.io_b.stats(sfd).datagrams_rx, 1u);
+  auto tx_stats = r.io_a.stats(cfd);
+  ASSERT_TRUE(tx_stats.ok());
+  EXPECT_EQ((*tx_stats)->datagrams_tx, 1u);
+  EXPECT_EQ((*tx_stats)->bytes_tx, 256u);
+  auto rx_stats = r.io_b.stats(sfd);
+  ASSERT_TRUE(rx_stats.ok());
+  EXPECT_EQ((*rx_stats)->datagrams_rx, 1u);
+  // Unknown fds now fail loudly instead of returning a zero sentinel.
+  EXPECT_FALSE(r.io_a.stats(9999).ok());
 }
 
 TEST(ISock, CloseReleasesPort) {

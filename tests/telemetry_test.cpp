@@ -1,0 +1,189 @@
+// Telemetry subsystem: registry aggregation, the Metric dual view, trace
+// ring bounds, observer ordering and deterministic JSON export.
+#include <gtest/gtest.h>
+
+#include "perf/harness.hpp"
+#include "simnet/simulation.hpp"
+#include "telemetry/registry.hpp"
+
+namespace dgiwarp {
+namespace {
+
+using telemetry::Registry;
+using telemetry::TraceKind;
+
+TEST(Telemetry, CounterAggregatesAcrossMetrics) {
+  Registry reg;
+  telemetry::Metric a, b;
+  a.bind(reg.counter("layer.thing.events"));
+  b.bind(reg.counter("layer.thing.events"));
+
+  ++a;
+  a += 4;
+  b.inc(2);
+
+  // Instance-local views stay per-object...
+  EXPECT_EQ(a, 5u);
+  EXPECT_EQ(b, 2u);
+  // ...while the registry holds the cross-instance aggregate.
+  EXPECT_EQ(reg.counter_value("layer.thing.events"), 7u);
+  EXPECT_TRUE(reg.has("layer.thing.events"));
+  EXPECT_FALSE(reg.has("layer.thing.nonsense"));
+}
+
+TEST(Telemetry, MetricKeepsU64Semantics) {
+  telemetry::Metric m;  // unbound: behaves exactly like the old u64 field
+  ++m;
+  m += 9;
+  const u64 v = m;
+  EXPECT_EQ(v, 10u);
+  EXPECT_EQ(static_cast<unsigned long long>(m), 10ull);
+}
+
+TEST(Telemetry, GaugeTracksMax) {
+  Registry reg;
+  auto& g = reg.gauge("layer.q.depth");
+  g.set(3);
+  g.set(11);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2.0);
+  EXPECT_EQ(g.max(), 11.0);
+}
+
+TEST(Telemetry, HistogramExactPercentiles) {
+  Registry reg;
+  auto& h = reg.histogram("layer.lat.us");
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_GE(h.percentile(99), 99.0);
+  EXPECT_LE(h.percentile(50), 51.0);
+}
+
+TEST(Telemetry, TraceRingBoundsMemory) {
+  Registry reg;
+  reg.trace().enable(16);
+  for (u64 i = 0; i < 100; ++i)
+    reg.trace().record(TraceKind::kLinkDrop, i, 1500);
+
+  EXPECT_EQ(reg.trace().capacity(), 16u);
+  EXPECT_EQ(reg.trace().recorded(), 100u);
+  EXPECT_EQ(reg.trace().dropped(), 84u);
+
+  const auto events = reg.trace().snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest first, and only the newest 16 survive.
+  EXPECT_EQ(events.front().a, 84u);
+  EXPECT_EQ(events.back().a, 99u);
+}
+
+TEST(Telemetry, TraceDisabledByDefaultRecordsNothing) {
+  Registry reg;
+  reg.trace().record(TraceKind::kLinkDrop, 1, 2);
+  EXPECT_FALSE(reg.trace().enabled());
+  EXPECT_EQ(reg.trace().recorded(), 0u);
+  EXPECT_TRUE(reg.trace().snapshot().empty());
+}
+
+TEST(Telemetry, NullSinkIsCompileTimeNoop) {
+  static_assert(telemetry::TraceSinkLike<telemetry::NullSink>);
+  static_assert(telemetry::TraceSinkLike<telemetry::TraceRing>);
+  static_assert(telemetry::NullSink::kNoop);
+  constexpr telemetry::NullSink sink;
+  static_assert(!sink.enabled());
+  sink.record(TraceKind::kLinkDrop, 1, 2);  // constexpr no-op
+}
+
+TEST(Telemetry, TraceEventsStampedWithVirtualTime) {
+  sim::Simulation s;
+  auto& reg = s.telemetry();
+  reg.trace().enable();
+  s.at(100, [&] { reg.trace().record(TraceKind::kLinkDrop, 1, 0); });
+  s.at(250, [&] { reg.trace().record(TraceKind::kLinkDeliver, 2, 0); });
+  s.run();
+  const auto events = reg.trace().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].t, 100);
+  EXPECT_EQ(events[1].t, 250);
+  EXPECT_EQ(reg.now(), s.now());
+}
+
+TEST(Telemetry, ObserverSeesEventsInOrder) {
+  struct Recorder : sim::SimObserver {
+    std::vector<std::pair<TimeNs, u64>> seen;
+    void on_event(TimeNs t, u64 seq) override { seen.emplace_back(t, seq); }
+  };
+  sim::Simulation s;
+  Recorder rec;
+  s.set_observer(&rec);
+  s.at(50, [] {});
+  s.at(10, [&s] { s.after(5, [] {}); });
+  s.at(10, [] {});  // same timestamp: FIFO order via seq
+  s.run();
+  s.set_observer(nullptr);
+
+  ASSERT_EQ(rec.seen.size(), 4u);
+  for (std::size_t i = 1; i < rec.seen.size(); ++i) {
+    EXPECT_GE(rec.seen[i].first, rec.seen[i - 1].first);  // monotone in t
+    // Same-timestamp events observe FIFO scheduling order via seq.
+    if (rec.seen[i].first == rec.seen[i - 1].first)
+      EXPECT_GT(rec.seen[i].second, rec.seen[i - 1].second);
+  }
+  EXPECT_EQ(rec.seen[0].first, 10);
+  EXPECT_EQ(rec.seen[1].first, 10);
+  EXPECT_EQ(rec.seen[2].first, 15);
+  EXPECT_EQ(rec.seen[3].first, 50);
+}
+
+TEST(Telemetry, MergeFoldsRegistries) {
+  Registry total, a, b;
+  telemetry::Metric ma, mb;
+  ma.bind(a.counter("x.count"));
+  mb.bind(b.counter("x.count"));
+  ma += 3;
+  mb += 4;
+  a.gauge("x.depth").set(5);
+  b.gauge("x.depth").set(9);
+  a.histogram("x.lat").add(1.0);
+  b.histogram("x.lat").add(3.0);
+
+  total.merge_from(a);
+  total.merge_from(b);
+
+  EXPECT_EQ(total.counter_value("x.count"), 7u);
+  EXPECT_EQ(total.gauge("x.depth").max(), 9.0);
+  ASSERT_NE(total.find_histogram("x.lat"), nullptr);
+  EXPECT_EQ(total.find_histogram("x.lat")->count(), 2u);
+  EXPECT_DOUBLE_EQ(total.find_histogram("x.lat")->mean(), 2.0);
+}
+
+// The acceptance criterion: a lossy UD run populates metrics from at least
+// four distinct layers, and two same-seed runs export byte-identical JSON.
+TEST(Telemetry, LossyRunCoversLayersAndIsDeterministic) {
+  auto run_once = [](std::string& json_out) {
+    Registry metrics;
+    perf::Options opts;
+    opts.loss_rate = 0.01;
+    opts.seed = 1234;
+    opts.metrics = &metrics;
+    (void)perf::measure_bandwidth(perf::Mode::kUdSendRecv, 256 * 1024, 8,
+                                  opts);
+    json_out = metrics.to_json();
+
+    EXPECT_TRUE(metrics.has("simnet.link.drops"));          // simnet
+    EXPECT_TRUE(metrics.has("hoststack.ip.datagrams_tx"));  // hoststack
+    EXPECT_TRUE(metrics.has("verbs.cq.completions"));       // verbs
+    EXPECT_TRUE(metrics.has("rdmap.write_record.chunks"));  // rdmap
+    EXPECT_GT(metrics.counter_value("simnet.link.drops"), 0u);
+  };
+  std::string j1, j2;
+  run_once(j1);
+  run_once(j2);
+  EXPECT_FALSE(j1.empty());
+  EXPECT_EQ(j1, j2);  // byte-identical for the same seed
+  EXPECT_NE(j1.find("\"schema\": \"dgiwarp.telemetry.v1\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgiwarp
