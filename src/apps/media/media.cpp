@@ -45,16 +45,19 @@ void MediaServer::stream_udp_frames(int fd, Endpoint client,
   const TimeNs frame_interval = static_cast<TimeNs>(
       static_cast<double>(params_.frame_bytes) * 8.0 / rate * 1e9);
 
+  // The stored lambda captures itself weakly (the pending timer event holds
+  // the only strong reference) so the chain frees itself when it ends.
   auto tick = std::make_shared<std::function<void(std::size_t)>>();
-  *tick = [this, fd, client, frame_interval, tick](std::size_t remaining) {
+  *tick = [this, fd, client, frame_interval,
+           weak = std::weak_ptr(tick)](std::size_t remaining) {
     if (remaining == 0) return;
     build_frame(frame_buf_, next_seq_++, params_.frame_bytes);
     (void)io_.sendto(fd, client, ConstByteSpan{frame_buf_});
     ++frames_sent_;
     const std::size_t next =
         remaining > params_.frame_bytes ? remaining - params_.frame_bytes : 0;
-    io_.device().host().sim().after(frame_interval,
-                                    [tick, next] { (*tick)(next); });
+    io_.device().host().sim().after(
+        frame_interval, [t = weak.lock(), next] { if (t) (*t)(next); });
   };
   sim.after(0, [tick, total_bytes] { (*tick)(total_bytes); });
 }
@@ -88,14 +91,15 @@ void MediaServer::stream_http_body(int fd, std::size_t total_bytes) {
   if (params_.burst_start) {
     // Send as fast as the socket accepts; retry on backpressure.
     auto pump = std::make_shared<std::function<void(std::size_t)>>();
-    *pump = [this, fd, pump](std::size_t remaining) {
+    *pump = [this, fd, weak = std::weak_ptr(pump)](std::size_t remaining) {
       while (remaining > 0) {
         build_frame(frame_buf_, next_seq_++, params_.frame_bytes);
         const std::size_t n = io_.send(fd, ConstByteSpan{frame_buf_});
         if (n == 0) {
           --next_seq_;  // frame not accepted; resend the same one later
           io_.device().host().sim().after(
-              50 * kMicrosecond, [pump, remaining] { (*pump)(remaining); });
+              50 * kMicrosecond,
+              [p = weak.lock(), remaining] { if (p) (*p)(remaining); });
           return;
         }
         ++frames_sent_;
@@ -111,7 +115,8 @@ void MediaServer::stream_http_body(int fd, std::size_t total_bytes) {
   // exhibits), at the media bitrate.
   auto mux = std::make_shared<Bytes>();
   auto tick = std::make_shared<std::function<void(std::size_t)>>();
-  *tick = [this, fd, mux, frame_interval, tick](std::size_t remaining) {
+  *tick = [this, fd, mux, frame_interval,
+           weak = std::weak_ptr(tick)](std::size_t remaining) {
     if (remaining == 0) {
       if (!mux->empty()) (void)io_.send(fd, ConstByteSpan{*mux});
       return;
@@ -125,8 +130,8 @@ void MediaServer::stream_http_body(int fd, std::size_t total_bytes) {
     }
     const std::size_t next =
         remaining > params_.frame_bytes ? remaining - params_.frame_bytes : 0;
-    io_.device().host().sim().after(frame_interval,
-                                    [tick, next] { (*tick)(next); });
+    io_.device().host().sim().after(
+        frame_interval, [t = weak.lock(), next] { if (t) (*t)(next); });
   };
   sim.after(0, [tick, total_bytes] { (*tick)(total_bytes); });
 }

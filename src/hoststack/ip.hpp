@@ -88,11 +88,19 @@ class IpLayer {
   };
   struct Partial {
     Bytes data;                  // reassembly buffer (sized on first frag)
-    std::size_t received = 0;    // payload bytes received so far
+    std::size_t received = 0;    // distinct payload bytes received so far
     std::size_t total = 0;       // 0 until the last fragment arrives
+    // Disjoint covered [begin, end) ranges. Duplicate or overlapping
+    // fragments (duplicating links, retransmitting middleboxes) must not
+    // count twice, or reassembly completes early with a hole.
+    std::map<std::size_t, std::size_t> ranges;
     TimeNs deadline = 0;
     u64 generation = 0;
   };
+
+  /// Merge [begin, end) into `p.ranges`, returning the newly covered bytes.
+  static std::size_t cover_range(Partial& p, std::size_t begin,
+                                 std::size_t end);
 
   void deliver(u32 src_ip, u8 proto, Bytes datagram);
 

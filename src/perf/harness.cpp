@@ -49,6 +49,7 @@ struct Rig {
     dc.ud_crc = opts.ud_crc;
     dc.ud_message_timeout = opts.ud_message_timeout;
     dc.max_ud_payload = opts.max_ud_payload;
+    dc.rd = opts.rd;
     da_ = std::make_unique<verbs::Device>(*a_, dc);
     db_ = std::make_unique<verbs::Device>(*b_, dc);
 
@@ -95,8 +96,12 @@ struct Rig {
   }
 
   void enable_loss() {
-    if (opts_.loss_rate > 0.0)
+    if (opts_.data_faults) {
+      fabric_.set_egress_faults(0, opts_.data_faults());
+    } else if (opts_.loss_rate > 0.0) {
       fabric_.set_egress_faults(0, sim::Faults::bernoulli(opts_.loss_rate));
+    }
+    if (opts_.ack_faults) fabric_.set_egress_faults(1, opts_.ack_faults());
   }
 
   sim::Simulation& sim() { return fabric_.sim(); }
@@ -261,9 +266,19 @@ BandwidthResult measure_bandwidth(Mode mode, std::size_t msg_size,
   };
   for (u64 i = 0; i < kQueueDepth; ++i) post_one();
   u64 tx_completions = 0;
+  int dry_waits = 0;
   while (tx_completions < posted || posted < messages) {
     auto c = rig.send_cq(true).wait(5 * kSecond);
-    if (!c) break;
+    if (!c) {
+      // A reliable transport deep in RTO backoff (bursty loss, link flaps)
+      // can legitimately go several seconds of virtual time between
+      // completions; only conclude the path is dead after a full minute
+      // of silence. (An idle simulation makes these waits return
+      // immediately, so a truly dead path still exits promptly.)
+      if (++dry_waits >= 12) break;
+      continue;
+    }
+    dry_waits = 0;
     ++tx_completions;
     post_one();
   }

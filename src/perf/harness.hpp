@@ -6,9 +6,12 @@
 // configured to drop at a fixed rate). All numbers are virtual time.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "common/types.hpp"
+#include "rd/reliable.hpp"
+#include "simnet/faults.hpp"
 
 namespace dgiwarp::telemetry {
 class Registry;
@@ -37,6 +40,13 @@ struct Options {
   bool ud_crc = true;
   std::size_t max_ud_payload = 65'507;  // per-datagram budget (MTU ablation)
   TimeNs ud_message_timeout = 20 * kMillisecond;
+  /// RD-layer tuning for the kRd* modes (adaptive vs fixed RTO ablations).
+  rd::RdConfig rd;
+  /// Rich fault injection for the fault-campaign harness: factories for the
+  /// data (sender egress) and ack/response (receiver egress) directions.
+  /// When set, `data_faults` takes precedence over `loss_rate`.
+  std::function<sim::Faults()> data_faults;
+  std::function<sim::Faults()> ack_faults;
   /// When set, the measurement Simulation's telemetry registry is merged
   /// into this aggregate after the run (bench --metrics-json support).
   telemetry::Registry* metrics = nullptr;

@@ -1,5 +1,7 @@
 #include "rd/reliable.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace dgiwarp::rd {
@@ -7,6 +9,27 @@ namespace dgiwarp::rd {
 namespace {
 constexpr u8 kTypeData = 1;
 constexpr u8 kTypeAck = 2;
+// GAP-SKIP: "every sequence below `seq` is acknowledged or abandoned; stop
+// waiting for it". Sent after a sender give-up so ordered receivers resume.
+constexpr u8 kTypeGapSkip = 3;
+
+// The cumulative-ack header field is 32-bit (the formerly reserved u32).
+// Sequences are u64 internally but a single simulated flow never reaches
+// 2^32 datagrams, so the truncation below is lossless in practice.
+u32 cum_to_wire(u64 cum) {
+  return static_cast<u32>(std::min<u64>(cum, 0xFFFFFFFFull));
+}
+
+// Byte offset of the cumulative-ack field inside the RD header
+// (type u8 + seq u64), patched in place on every (re)transmission.
+constexpr std::size_t kCumOffset = 9;
+
+void patch_cum(Bytes& wire, u64 cum) {
+  const u32 v = cum_to_wire(cum);
+  for (int i = 0; i < 4; ++i)
+    wire[kCumOffset + static_cast<std::size_t>(i)] =
+        static_cast<u8>(v >> (24 - 8 * i));
+}
 }  // namespace
 
 ReliableDatagram::ReliableDatagram(host::HostCtx& ctx,
@@ -19,10 +42,22 @@ ReliableDatagram::ReliableDatagram(host::HostCtx& ctx,
   stats_.data_tx.bind(reg.counter("rd.data_tx"));
   stats_.data_rx.bind(reg.counter("rd.data_rx"));
   stats_.retransmits.bind(reg.counter("rd.retries"));
+  stats_.fast_retransmits.bind(reg.counter("rd.fast_retransmits"));
   stats_.duplicates.bind(reg.counter("rd.duplicates"));
   stats_.acks_tx.bind(reg.counter("rd.acks_tx"));
   stats_.acks_rx.bind(reg.counter("rd.acks_rx"));
   stats_.give_ups.bind(reg.counter("rd.give_ups"));
+  stats_.gap_skips_tx.bind(reg.counter("rd.gap_skips_tx"));
+  stats_.rx_gaps.bind(reg.counter("rd.rx_gaps"));
+  stats_.rx_ooo_drops.bind(reg.counter("rd.rx_ooo_drops"));
+}
+
+ReliableDatagram::~ReliableDatagram() {
+  // Balance the MemLedger for anything still parked in reorder buffers.
+  for (auto& [ep, rx] : rx_) {
+    (void)ep;
+    if (rx.ooo_bytes > 0) account_ooo(rx, -static_cast<i64>(rx.ooo_bytes));
+  }
 }
 
 Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
@@ -37,7 +72,7 @@ Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
   WireWriter w(wire);
   w.u8be(kTypeData);
   w.u64be(seq);
-  w.u32be(0);  // reserved / future cumulative-ack piggyback
+  w.u32be(0);  // cumulative-ack piggyback; patched at transmit time
   const std::size_t at = wire.size();
   wire.resize(at + payload.total_size());
   payload.copy_out(0, ByteSpan{wire}.subspan(at));
@@ -46,7 +81,7 @@ Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
     tx.queued.emplace_back(seq, std::move(wire));
     return Status::Ok();
   }
-  tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0});
+  tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0, 0});
   transmit(dst, seq, tx);
   return Status::Ok();
 }
@@ -62,6 +97,8 @@ void ReliableDatagram::transmit(Endpoint dst, u64 seq, PeerTx& tx) {
         telemetry::TraceKind::kRdRetransmit, seq,
         static_cast<u64>(it->second.retries));
   }
+  patch_cum(it->second.wire, cum_for(dst));
+  it->second.sent_at = ctx_.sim.now();
   (void)socket_.send_to(dst, ConstByteSpan{it->second.wire});
   arm_timer(dst, seq);
 }
@@ -72,24 +109,132 @@ void ReliableDatagram::arm_timer(Endpoint dst, u64 seq) {
   if (it == tx.unacked.end()) return;
   const u64 gen = ++timer_counter_;
   it->second.timer_gen = gen;
-  ctx_.sim.at(ctx_.sim.now() + config_.rto, [this, dst, seq, gen] {
-    auto peer = tx_.find(dst);
-    if (peer == tx_.end()) return;
-    auto p = peer->second.unacked.find(seq);
-    if (p == peer->second.unacked.end() || p->second.timer_gen != gen) return;
-    if (++p->second.retries > config_.max_retries) {
-      ++stats_.give_ups;
-      ctx_.sim.telemetry().trace().record(telemetry::TraceKind::kRdGiveUp, seq,
-                                          static_cast<u64>(dst.port));
-      peer->second.unacked.erase(p);
-      DGI_WARN("rd", "giving up on seq %llu to %u:%u",
-               static_cast<unsigned long long>(seq), dst.ip, dst.port);
-      if (on_failure_) on_failure_(dst, seq);
-      pump_queue(dst, peer->second);
-      return;
+  TimeNs wait = peer_rto(tx);
+  // Desynchronize retry timers from periodic outages (link flaps): once
+  // backoff saturates at max_rto the retry interval is constant, and a
+  // retransmission that once lands inside a down window would land there
+  // every time if the fault period divides it. Up to rto/8 of seeded
+  // (deterministic) slack breaks the phase lock.
+  if (it->second.retries > 0)
+    wait += static_cast<TimeNs>(
+        ctx_.rng.below(static_cast<u64>(wait / 8) + 1));
+  ctx_.sim.at(ctx_.sim.now() + wait,
+              [this, dst, seq, gen] { on_timeout(dst, seq, gen); });
+}
+
+void ReliableDatagram::on_timeout(Endpoint dst, u64 seq, u64 gen) {
+  auto peer = tx_.find(dst);
+  if (peer == tx_.end()) return;
+  PeerTx& tx = peer->second;
+  auto p = tx.unacked.find(seq);
+  if (p == tx.unacked.end() || p->second.timer_gen != gen) return;
+
+  // The RTO may have grown (new RTT samples) since this timer was armed:
+  // if the deadline moved into the future, re-arm instead of retransmitting
+  // spuriously. This is what makes the adaptive estimator effective even
+  // with a timer already in flight per packet.
+  const TimeNs deadline = p->second.sent_at + peer_rto(tx);
+  if (ctx_.sim.now() < deadline) {
+    const u64 regen = ++timer_counter_;
+    p->second.timer_gen = regen;
+    ctx_.sim.at(deadline, [this, dst, seq, regen] {
+      on_timeout(dst, seq, regen);
+    });
+    return;
+  }
+
+  if (++p->second.retries > config_.max_retries) {
+    ++stats_.give_ups;
+    ctx_.sim.telemetry().trace().record(telemetry::TraceKind::kRdGiveUp, seq,
+                                        static_cast<u64>(dst.port));
+    tx.unacked.erase(p);
+    DGI_WARN("rd", "giving up on seq %llu to %u:%u",
+             static_cast<unsigned long long>(seq), dst.ip, dst.port);
+    if (on_failure_) on_failure_(dst, seq);
+    // Tell the receiver to stop waiting for the abandoned sequence(s); its
+    // own gap timeout is the fallback if this advertisement is lost too.
+    send_gap_skip(dst, tx);
+    pump_queue(dst, tx);
+    return;
+  }
+
+  if (config_.adaptive_rto) {
+    // Karn/RFC 6298 backoff: the estimator is not updated from
+    // retransmitted packets, but the timeout itself doubles up to the cap.
+    tx.rto = std::min(2 * peer_rto(tx), config_.max_rto);
+    ctx_.sim.telemetry().gauge("rd.rto_ns").set(static_cast<double>(tx.rto));
+  }
+  transmit(dst, seq, tx);
+}
+
+void ReliableDatagram::update_rtt(PeerTx& tx, TimeNs sample) {
+  if (!config_.adaptive_rto) return;
+  if (tx.srtt == 0) {
+    tx.srtt = sample;
+    tx.rttvar = sample / 2;
+  } else {
+    const TimeNs err =
+        sample > tx.srtt ? sample - tx.srtt : tx.srtt - sample;
+    tx.rttvar = (3 * tx.rttvar + err) / 4;
+    tx.srtt = (7 * tx.srtt + sample) / 8;
+  }
+  tx.rto = std::clamp(tx.srtt + 4 * tx.rttvar, config_.min_rto,
+                      config_.max_rto);
+  ctx_.sim.telemetry().gauge("rd.rto_ns").set(static_cast<double>(tx.rto));
+}
+
+void ReliableDatagram::ack_one(Endpoint src, PeerTx& tx, u64 seq,
+                               bool rtt_eligible) {
+  auto it = tx.unacked.find(seq);
+  if (it == tx.unacked.end()) return;
+  // Karn's rule: only never-retransmitted packets produce RTT samples.
+  if (rtt_eligible && it->second.retries == 0)
+    update_rtt(tx, ctx_.sim.now() - it->second.sent_at);
+  tx.unacked.erase(it);
+  (void)src;
+}
+
+void ReliableDatagram::on_ack(Endpoint src, u64 seq, u64 cum) {
+  ++stats_.acks_rx;
+  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+  auto peer = tx_.find(src);
+  if (peer == tx_.end()) return;
+  PeerTx& tx = peer->second;
+
+  ack_one(src, tx, seq, /*rtt_eligible=*/true);
+  while (!tx.unacked.empty() && tx.unacked.begin()->first <= cum)
+    ack_one(src, tx, tx.unacked.begin()->first, /*rtt_eligible=*/false);
+
+  // Dup-ACK fast retransmit: a stalled cumulative point while later
+  // sequences are being acknowledged means the first hole was lost.
+  if (cum > tx.last_cum_ack) {
+    tx.last_cum_ack = cum;
+    tx.dup_acks = 0;
+  } else if (cum == tx.last_cum_ack && seq != cum + 1 &&
+             tx.unacked.contains(cum + 1)) {
+    if (++tx.dup_acks >= config_.dup_ack_threshold) {
+      tx.dup_acks = 0;
+      fast_retransmit(src, tx, cum + 1);
     }
-    transmit(dst, seq, peer->second);
-  });
+  }
+  pump_queue(src, tx);
+}
+
+void ReliableDatagram::fast_retransmit(Endpoint src, PeerTx& tx, u64 seq) {
+  auto it = tx.unacked.find(seq);
+  if (it == tx.unacked.end()) return;
+  ++stats_.fast_retransmits;
+  ctx_.sim.telemetry().trace().record(telemetry::TraceKind::kRdFastRetransmit,
+                                      seq,
+                                      static_cast<u64>(it->second.retries));
+  ++it->second.retries;  // counts toward rd.retries and the give-up budget
+  transmit(src, seq, tx);
+}
+
+u64 ReliableDatagram::cum_for(Endpoint peer) const {
+  auto it = rx_.find(peer);
+  if (it == rx_.end()) return 0;
+  return config_.ordered ? it->second.next_expected - 1 : it->second.cum_seen;
 }
 
 void ReliableDatagram::send_ack(Endpoint dst, u64 seq) {
@@ -98,8 +243,27 @@ void ReliableDatagram::send_ack(Endpoint dst, u64 seq) {
   WireWriter w(wire);
   w.u8be(kTypeAck);
   w.u64be(seq);
-  w.u32be(0);
+  w.u32be(cum_to_wire(cum_for(dst)));
   ++stats_.acks_tx;
+  (void)socket_.send_to(dst, ConstByteSpan{wire});
+}
+
+void ReliableDatagram::send_gap_skip(Endpoint dst, PeerTx& tx) {
+  // Everything below `base` has been acknowledged or abandoned.
+  u64 base = tx.next_seq;
+  if (!tx.unacked.empty())
+    base = std::min(base, tx.unacked.begin()->first);
+  if (!tx.queued.empty()) base = std::min(base, tx.queued.front().first);
+
+  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+  Bytes wire;
+  WireWriter w(wire);
+  w.u8be(kTypeGapSkip);
+  w.u64be(base);
+  w.u32be(cum_to_wire(cum_for(dst)));
+  ++stats_.gap_skips_tx;
+  ctx_.sim.telemetry().trace().record(telemetry::TraceKind::kRdGapSkip, base,
+                                      static_cast<u64>(dst.port));
   (void)socket_.send_to(dst, ConstByteSpan{wire});
 }
 
@@ -107,7 +271,7 @@ void ReliableDatagram::pump_queue(Endpoint dst, PeerTx& tx) {
   while (!tx.queued.empty() && tx.unacked.size() < config_.window) {
     auto [seq, wire] = std::move(tx.queued.front());
     tx.queued.pop_front();
-    tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0});
+    tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0, 0});
     transmit(dst, seq, tx);
   }
 }
@@ -116,59 +280,244 @@ void ReliableDatagram::on_raw(Endpoint src, Bytes data) {
   WireReader r(ConstByteSpan{data});
   const u8 type = r.u8be();
   const u64 seq = r.u64be();
-  r.u32be();
+  const u64 cum = r.u32be();
   if (!r.ok()) return;
 
-  if (type == kTypeAck) {
-    ++stats_.acks_rx;
-    ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
-    auto peer = tx_.find(src);
-    if (peer == tx_.end()) return;
-    peer->second.unacked.erase(seq);
-    pump_queue(src, peer->second);
-    return;
-  }
-  if (type != kTypeData) return;
-
-  ctx_.cpu.charge(ctx_.costs.rd_rx_fixed);
-  ++stats_.data_rx;
-  send_ack(src, seq);  // ACK even duplicates (the original ACK may be lost)
-
-  PeerRx& rx = rx_[src];
-  rx.highest_seen = std::max(rx.highest_seen, seq);
-
-  ConstByteSpan body = r.rest();
-  if (!config_.ordered) {
-    // Unordered mode: dedupe on the per-sequence seen-set (a watermark
-    // would misclassify late retransmissions of skipped sequences).
-    if (!rx.ooo.emplace(seq, Bytes{}).second) {
-      ++stats_.duplicates;
+  switch (type) {
+    case kTypeAck:
+      on_ack(src, seq, cum);
+      return;
+    case kTypeGapSkip:
+      ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+      on_gap_skip(src, seq);
+      return;
+    case kTypeData: {
+      // Piggybacked cumulative ack for the reverse direction: retire
+      // everything it covers before processing the payload.
+      auto peer = tx_.find(src);
+      if (peer != tx_.end() && cum > 0) {
+        PeerTx& tx = peer->second;
+        while (!tx.unacked.empty() && tx.unacked.begin()->first <= cum)
+          ack_one(src, tx, tx.unacked.begin()->first, /*rtt_eligible=*/false);
+        if (cum > tx.last_cum_ack) {
+          tx.last_cum_ack = cum;
+          tx.dup_acks = 0;
+        }
+        pump_queue(src, tx);
+      }
+      on_data(src, seq, r.rest());
       return;
     }
+    default:
+      return;
+  }
+}
+
+void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body) {
+  ctx_.cpu.charge(ctx_.costs.rd_rx_fixed);
+  ++stats_.data_rx;
+
+  PeerRx& rx = rx_[src];
+
+  if (!config_.ordered) {
+    const bool dup = seen_test_set(rx, seq);
+    if (dup) {
+      ++stats_.duplicates;
+      send_ack(src, seq);  // the original ACK may have been lost
+      return;
+    }
+    advance_cum_seen(rx);
+    if (rx.highest_seen > rx.cum_seen) arm_gap_timer(src);
+    send_ack(src, seq);  // cum reflects this datagram
     if (handler_) handler_(src, Bytes(body.begin(), body.end()));
     return;
   }
 
+  rx.highest_seen = std::max(rx.highest_seen, seq);
   if (seq < rx.next_expected || rx.ooo.contains(seq)) {
     ++stats_.duplicates;
+    send_ack(src, seq);
     return;
   }
 
-  rx.ooo.emplace(seq, Bytes(body.begin(), body.end()));
+  if (seq != rx.next_expected) {
+    // Hole: buffer, bounded. A refused datagram is NOT acked — the sender
+    // keeps it and retransmits once the buffer has drained.
+    if (rx.ooo.size() >= config_.rx_ooo_limit) {
+      ++stats_.rx_ooo_drops;
+      return;
+    }
+    auto [it, inserted] = rx.ooo.emplace(seq, Bytes(body.begin(), body.end()));
+    if (inserted) account_ooo(rx, static_cast<i64>(it->second.size()));
+    arm_gap_timer(src);
+    send_ack(src, seq);
+    return;
+  }
+
+  ++rx.next_expected;
+  if (handler_) handler_(src, Bytes(body.begin(), body.end()));
+  deliver_in_order(src, rx);
+  send_ack(src, seq);  // cum covers everything the drain just delivered
+}
+
+void ReliableDatagram::deliver_in_order(Endpoint src, PeerRx& rx) {
   while (true) {
     auto it = rx.ooo.find(rx.next_expected);
     if (it == rx.ooo.end()) break;
     Bytes payload = std::move(it->second);
+    account_ooo(rx, -static_cast<i64>(payload.size()));
     rx.ooo.erase(it);
     ++rx.next_expected;
     if (handler_) handler_(src, std::move(payload));
   }
 }
 
+void ReliableDatagram::on_gap_skip(Endpoint src, u64 base) {
+  auto it = rx_.find(src);
+  if (it == rx_.end()) return;
+  skip_to(src, it->second, base);
+}
+
+void ReliableDatagram::skip_to(Endpoint src, PeerRx& rx, u64 base) {
+  u64 missing = 0;
+  u64 first_missing = 0;
+
+  if (config_.ordered) {
+    if (base <= rx.next_expected) return;
+    while (rx.next_expected < base) {
+      auto it = rx.ooo.find(rx.next_expected);
+      if (it != rx.ooo.end()) {
+        Bytes payload = std::move(it->second);
+        account_ooo(rx, -static_cast<i64>(payload.size()));
+        rx.ooo.erase(it);
+        if (handler_) handler_(src, std::move(payload));
+      } else {
+        if (missing == 0) first_missing = rx.next_expected;
+        ++missing;
+      }
+      ++rx.next_expected;
+    }
+    deliver_in_order(src, rx);
+  } else {
+    if (base <= rx.cum_seen + 1) return;
+    const u64 w = config_.dedup_window;
+    for (u64 s = rx.cum_seen + 1; s < base; ++s) {
+      const bool old = rx.highest_seen >= w && s <= rx.highest_seen - w;
+      const std::size_t word = (s % w) / 64, bit = (s % w) % 64;
+      const bool seen =
+          old || (!rx.seen_bits.empty() && (rx.seen_bits[word] >> bit) & 1);
+      if (!seen) {
+        if (missing == 0) first_missing = s;
+        ++missing;
+      }
+    }
+    rx.cum_seen = base - 1;
+    rx.highest_seen = std::max(rx.highest_seen, rx.cum_seen);
+    advance_cum_seen(rx);
+  }
+
+  if (missing > 0) {
+    stats_.rx_gaps += missing;
+    ctx_.sim.telemetry().trace().record(telemetry::TraceKind::kRdRxGap,
+                                        first_missing, missing);
+    DGI_WARN("rd", "skipping %llu lost datagram(s) from %u:%u at seq %llu",
+             static_cast<unsigned long long>(missing), src.ip, src.port,
+             static_cast<unsigned long long>(first_missing));
+    if (on_gap_) on_gap_(src, first_missing, missing);
+  }
+}
+
+void ReliableDatagram::arm_gap_timer(Endpoint src) {
+  if (config_.gap_timeout == 0) return;
+  PeerRx& rx = rx_[src];
+  if (rx.gap_armed) return;
+  rx.gap_armed = true;
+  const u64 cursor = config_.ordered ? rx.next_expected : rx.cum_seen;
+  ctx_.sim.at(ctx_.sim.now() + config_.gap_timeout, [this, src, cursor] {
+    auto it = rx_.find(src);
+    if (it == rx_.end()) return;
+    PeerRx& rx = it->second;
+    rx.gap_armed = false;
+    if (config_.ordered) {
+      // Still stuck on the same hole with data parked behind it: the
+      // sender's GAP-SKIP never arrived. Skip to the first buffered seq.
+      if (rx.next_expected == cursor && !rx.ooo.empty())
+        skip_to(src, rx, rx.ooo.begin()->first);
+      if (!rx.ooo.empty()) arm_gap_timer(src);
+    } else {
+      if (rx.cum_seen == cursor && rx.highest_seen > cursor)
+        skip_to(src, rx, rx.highest_seen + 1);
+      if (rx.highest_seen > rx.cum_seen) arm_gap_timer(src);
+    }
+  });
+}
+
+bool ReliableDatagram::seen_test_set(PeerRx& rx, u64 seq) {
+  // Anti-replay sliding window (IPsec style): cumulative watermark + a
+  // fixed-size ring bitmap over the most recent `dedup_window` sequences.
+  // Anything older than the window is classified as a duplicate — bounded
+  // memory in exchange for refusing pathologically late retransmissions.
+  const u64 w = config_.dedup_window;
+  if (seq <= rx.cum_seen) return true;
+  if (rx.seen_bits.empty()) rx.seen_bits.assign((w + 63) / 64, 0);
+
+  if (seq > rx.highest_seen) {
+    // Slide forward: clear the bits the window is vacating.
+    const u64 advance = std::min(seq - rx.highest_seen, w);
+    for (u64 i = 1; i <= advance; ++i) {
+      const u64 s = rx.highest_seen + i;
+      rx.seen_bits[(s % w) / 64] &= ~(u64{1} << ((s % w) % 64));
+    }
+    rx.highest_seen = seq;
+  } else if (rx.highest_seen >= w && seq <= rx.highest_seen - w) {
+    return true;  // older than the window: assume seen
+  }
+
+  const std::size_t word = (seq % w) / 64, bit = (seq % w) % 64;
+  const bool seen = (rx.seen_bits[word] >> bit) & 1;
+  rx.seen_bits[word] |= u64{1} << bit;
+  return seen;
+}
+
+void ReliableDatagram::advance_cum_seen(PeerRx& rx) {
+  const u64 w = config_.dedup_window;
+  // Everything the window has slid past is implicitly "seen".
+  if (rx.highest_seen >= w)
+    rx.cum_seen = std::max(rx.cum_seen, rx.highest_seen - w);
+  if (rx.seen_bits.empty()) return;
+  while (rx.cum_seen < rx.highest_seen) {
+    const u64 s = rx.cum_seen + 1;
+    if (!((rx.seen_bits[(s % w) / 64] >> ((s % w) % 64)) & 1)) break;
+    rx.cum_seen = s;
+  }
+}
+
+void ReliableDatagram::account_ooo(PeerRx& rx, i64 delta) {
+  rx.ooo_bytes = static_cast<std::size_t>(
+      static_cast<i64>(rx.ooo_bytes) + delta);
+  if (ctx_.ledger) ctx_.ledger->add("rd.rx_ooo", delta);
+  std::size_t total = 0;
+  for (const auto& [_, peer] : rx_) total += peer.ooo_bytes;
+  ctx_.sim.telemetry().gauge("rd.rx_ooo_bytes").set(
+      static_cast<double>(total));
+}
+
 std::size_t ReliableDatagram::unacked() const {
   std::size_t n = 0;
   for (const auto& [_, tx] : tx_) n += tx.unacked.size();
   return n;
+}
+
+std::size_t ReliableDatagram::rx_buffered() const {
+  std::size_t n = 0;
+  for (const auto& [_, rx] : rx_) n += rx.ooo.size();
+  return n;
+}
+
+TimeNs ReliableDatagram::rto(Endpoint dst) const {
+  auto it = tx_.find(dst);
+  if (it == tx_.end() || it->second.rto == 0) return config_.rto;
+  return it->second.rto;
 }
 
 }  // namespace dgiwarp::rd

@@ -7,6 +7,23 @@
 // (optionally) in-order delivery. Unlike TCP there is no connection state
 // handshake and no byte-stream coupling — a single RD endpoint serves any
 // number of peers, keeping the connectionless scalability story intact.
+//
+// Loss recovery (per peer, mirroring the RFC 6298-style machinery the TCP
+// baseline already has in hoststack/tcp.cpp):
+//  * adaptive RTO from SRTT/RTTVAR with exponential backoff and a cap
+//    (RdConfig::adaptive_rto=false pins the fixed-RTO legacy behaviour);
+//  * cumulative ACKs piggybacked in the previously reserved header u32 —
+//    one ACK can retire a whole window, and dup-ACKs of a stalled
+//    cumulative point trigger fast retransmit of the first hole;
+//  * give-up propagation: after max_retries the sender advertises a
+//    GAP-SKIP so the receiver stops waiting for the abandoned sequence;
+//    a receiver-side gap timeout covers the case where even the GAP-SKIP
+//    is lost. Holes are surfaced via on_failure()/on_gap() + telemetry,
+//    never silently.
+// Receiver memory is bounded in both modes: the ordered reorder buffer is
+// capped (rx_ooo_limit) and accounted against the host MemLedger
+// ("rd.rx_ooo"), and unordered dedupe state is a fixed-size anti-replay
+// bitmap (dedup_window) instead of an ever-growing seen-set.
 #pragma once
 
 #include <deque>
@@ -21,10 +38,17 @@ namespace dgiwarp::rd {
 using host::Endpoint;
 
 struct RdConfig {
-  TimeNs rto = 400 * kMicrosecond;  // retransmit timeout
+  TimeNs rto = 400 * kMicrosecond;  // initial RTO (the RTO when !adaptive)
+  bool adaptive_rto = true;    // SRTT/RTTVAR estimation + exponential backoff
+  TimeNs min_rto = 100 * kMicrosecond;  // adaptive-RTO floor
+  TimeNs max_rto = 50 * kMillisecond;   // adaptive-RTO / backoff ceiling
   int max_retries = 12;             // then the datagram is reported lost
   std::size_t window = 64;          // max unacked datagrams per peer
   bool ordered = true;              // deliver in send order per peer
+  int dup_ack_threshold = 3;        // dup cumulative ACKs -> fast retransmit
+  std::size_t rx_ooo_limit = 256;   // ordered-mode reorder buffer cap (dgrams)
+  std::size_t dedup_window = 4096;  // unordered-mode dedupe bitmap (seqs)
+  TimeNs gap_timeout = kSecond;     // receiver-side stall fallback (0 = off)
 };
 
 /// Per-endpoint RD counters. Each field also feeds the owning Simulation's
@@ -33,10 +57,14 @@ struct RdStats {
   telemetry::Metric data_tx;
   telemetry::Metric data_rx;
   telemetry::Metric retransmits;
+  telemetry::Metric fast_retransmits;  // dup-ACK-triggered (subset of retries)
   telemetry::Metric duplicates;
   telemetry::Metric acks_tx;
   telemetry::Metric acks_rx;
-  telemetry::Metric give_ups;  // datagrams dropped after max_retries
+  telemetry::Metric give_ups;   // datagrams dropped after max_retries
+  telemetry::Metric gap_skips_tx;  // GAP-SKIP advertisements sent
+  telemetry::Metric rx_gaps;    // sequences the receiver skipped (holes)
+  telemetry::Metric rx_ooo_drops;  // datagrams refused by the reorder cap
 };
 
 /// Wraps a UdpSocket with reliability. The socket's receive handler is
@@ -44,14 +72,19 @@ struct RdStats {
 class ReliableDatagram {
  public:
   using DatagramHandler = std::function<void(Endpoint, Bytes)>;
-  /// Notified when a datagram is abandoned after max_retries.
+  /// Notified when a datagram is abandoned after max_retries (sender side).
   using FailureHandler = std::function<void(Endpoint, u64 seq)>;
+  /// Notified when the receiver skips a hole: `first_seq` is the first
+  /// missing sequence, `count` how many consecutive sequences were lost.
+  using GapHandler = std::function<void(Endpoint, u64 first_seq, u64 count)>;
 
   ReliableDatagram(host::HostCtx& ctx, host::UdpSocket& socket,
                    RdConfig config = {});
+  ~ReliableDatagram();
 
   void on_datagram(DatagramHandler h) { handler_ = std::move(h); }
   void on_failure(FailureHandler h) { on_failure_ = std::move(h); }
+  void on_gap(GapHandler h) { on_gap_ = std::move(h); }
 
   /// Send one datagram reliably. Queues beyond the window; fails only if
   /// the payload exceeds the UDP limit (minus the RD header).
@@ -62,38 +95,80 @@ class ReliableDatagram {
 
   /// Datagrams accepted but not yet acknowledged (all peers).
   std::size_t unacked() const;
+  /// Datagrams buffered out-of-order at the receiver (all peers).
+  std::size_t rx_buffered() const;
+  /// Current retransmission timeout towards `dst` (config initial if the
+  /// peer has no state yet).
+  TimeNs rto(Endpoint dst) const;
 
   const RdStats& stats() const { return stats_; }
-  static constexpr std::size_t kHeaderBytes = 13;  // type+seq+ack
+  // type(u8) + seq(u64) + cumulative ack(u32, truncated; see reliable.cpp)
+  static constexpr std::size_t kHeaderBytes = 13;
 
  private:
   struct Pending {
     Bytes wire;     // full RD packet, ready for retransmission
     int retries = 0;
     u64 timer_gen = 0;
+    TimeNs sent_at = 0;  // last (re)transmission time, for RTT sampling
   };
   struct PeerTx {
     u64 next_seq = 1;
     std::map<u64, Pending> unacked;
     std::deque<std::pair<u64, Bytes>> queued;  // waiting for window space
+    // RFC 6298-style estimator state (all 0 until the first sample).
+    TimeNs srtt = 0;
+    TimeNs rttvar = 0;
+    TimeNs rto = 0;  // current timeout; initialised from config
+    // Dup-ACK accounting for fast retransmit.
+    u64 last_cum_ack = 0;
+    int dup_acks = 0;
   };
   struct PeerRx {
-    u64 next_expected = 1;
-    std::map<u64, Bytes> ooo;
+    u64 next_expected = 1;   // ordered mode cursor
+    std::map<u64, Bytes> ooo;  // ordered mode reorder buffer (bounded)
     u64 highest_seen = 0;
+    // Unordered mode: cumulative watermark + anti-replay bitmap. A sequence
+    // is a duplicate if <= cum_seen - implicitly, or its window bit is set;
+    // anything older than the window is treated as a duplicate (bounded
+    // memory beats re-delivering ancient retransmissions).
+    u64 cum_seen = 0;     // every seq <= cum_seen was seen or skipped
+    std::vector<u64> seen_bits;  // dedup_window bits, ring-indexed by seq
+    std::size_t ooo_bytes = 0;   // ledger-accounted reorder buffer bytes
+    // Receiver-side gap fallback timer.
+    bool gap_armed = false;
   };
 
   void on_raw(Endpoint src, Bytes data);
+  void on_ack(Endpoint src, u64 seq, u64 cum);
+  void on_data(Endpoint src, u64 seq, ConstByteSpan body);
+  void on_gap_skip(Endpoint src, u64 base);
   void transmit(Endpoint dst, u64 seq, PeerTx& tx);
   void arm_timer(Endpoint dst, u64 seq);
+  void on_timeout(Endpoint dst, u64 seq, u64 gen);
   void send_ack(Endpoint dst, u64 seq);
+  void send_gap_skip(Endpoint dst, PeerTx& tx);
   void pump_queue(Endpoint dst, PeerTx& tx);
+  void ack_one(Endpoint src, PeerTx& tx, u64 seq, bool rtt_eligible);
+  void update_rtt(PeerTx& tx, TimeNs sample);
+  void fast_retransmit(Endpoint src, PeerTx& tx, u64 seq);
+  u64 cum_for(Endpoint peer) const;  // cumulative ack to advertise
+  void deliver_in_order(Endpoint src, PeerRx& rx);
+  void skip_to(Endpoint src, PeerRx& rx, u64 base);
+  void arm_gap_timer(Endpoint src);
+  bool seen_test_set(PeerRx& rx, u64 seq);  // unordered dedupe
+  void advance_cum_seen(PeerRx& rx);
+  void account_ooo(PeerRx& rx, i64 delta);
+  TimeNs peer_rto(const PeerTx& tx) const {
+    return tx.rto > 0 ? tx.rto : config_.rto;
+  }
 
   host::HostCtx& ctx_;
   host::UdpSocket& socket_;
   RdConfig config_;
   DatagramHandler handler_;
   FailureHandler on_failure_;
+  GapHandler on_gap_;
   std::map<Endpoint, PeerTx> tx_;
   std::map<Endpoint, PeerRx> rx_;
   RdStats stats_;

@@ -1,10 +1,14 @@
 // Fault injection models applied per link direction.
 //
 // The paper used Linux `tc` to drop packets at fixed rates (Figures 7-8);
-// BernoulliLoss reproduces that. GilbertElliott adds bursty WAN-style loss
-// and PeriodicLoss gives tests deterministic drop positions.
+// BernoulliLoss reproduces that. GilbertElliott adds bursty WAN-style loss,
+// PeriodicLoss gives tests deterministic drop positions, and LinkFlapLoss
+// models an interface that goes dark for whole windows of virtual time.
+// Beyond loss, a Faults config can also reorder, jitter and *duplicate*
+// frames — the adversarial inputs the RD layer's recovery is tested under.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -13,25 +17,27 @@
 
 namespace dgiwarp::sim {
 
-/// Decides the fate of each frame traversing a link direction.
+/// Decides the fate of each frame traversing a link direction. `now` is the
+/// virtual time at which the frame enters the wire, so models may be
+/// time-driven (link flaps) as well as count- or probability-driven.
 class LossModel {
  public:
   virtual ~LossModel();
   /// True if the frame should be dropped.
-  virtual bool should_drop(Rng& rng) = 0;
+  virtual bool should_drop(Rng& rng, TimeNs now) = 0;
 };
 
 /// Never drops (default).
 class NoLoss final : public LossModel {
  public:
-  bool should_drop(Rng&) override { return false; }
+  bool should_drop(Rng&, TimeNs) override { return false; }
 };
 
 /// Independent drop with probability `p` — equivalent of `tc ... loss p%`.
 class BernoulliLoss final : public LossModel {
  public:
   explicit BernoulliLoss(double p) : p_(p) {}
-  bool should_drop(Rng& rng) override { return rng.chance(p_); }
+  bool should_drop(Rng& rng, TimeNs) override { return rng.chance(p_); }
 
  private:
   double p_;
@@ -44,7 +50,7 @@ class GilbertElliottLoss final : public LossModel {
   GilbertElliottLoss(double p_g2b, double p_b2g, double p_good, double p_bad)
       : p_g2b_(p_g2b), p_b2g_(p_b2g), p_good_(p_good), p_bad_(p_bad) {}
 
-  bool should_drop(Rng& rng) override {
+  bool should_drop(Rng& rng, TimeNs) override {
     if (bad_) {
       if (rng.chance(p_b2g_)) bad_ = false;
     } else {
@@ -62,7 +68,9 @@ class GilbertElliottLoss final : public LossModel {
 class PeriodicLoss final : public LossModel {
  public:
   explicit PeriodicLoss(u64 n) : n_(n) {}
-  bool should_drop(Rng&) override { return n_ != 0 && (++count_ % n_) == 0; }
+  bool should_drop(Rng&, TimeNs) override {
+    return n_ != 0 && (++count_ % n_) == 0;
+  }
 
  private:
   u64 n_;
@@ -70,20 +78,49 @@ class PeriodicLoss final : public LossModel {
 };
 
 /// Drops exactly the frames whose (1-indexed) ordinal is in `ordinals`.
+/// Ordinals are sorted once; the frame counter only moves forward, so each
+/// frame costs one cursor comparison instead of a scan of the whole list.
 class TargetedLoss final : public LossModel {
  public:
   explicit TargetedLoss(std::vector<u64> ordinals)
-      : ordinals_(std::move(ordinals)) {}
-  bool should_drop(Rng&) override {
+      : ordinals_(std::move(ordinals)) {
+    std::sort(ordinals_.begin(), ordinals_.end());
+    ordinals_.erase(std::unique(ordinals_.begin(), ordinals_.end()),
+                    ordinals_.end());
+  }
+  bool should_drop(Rng&, TimeNs) override {
     ++count_;
-    for (u64 o : ordinals_)
-      if (o == count_) return true;
+    while (cursor_ < ordinals_.size() && ordinals_[cursor_] < count_)
+      ++cursor_;
+    if (cursor_ < ordinals_.size() && ordinals_[cursor_] == count_) {
+      ++cursor_;
+      return true;
+    }
     return false;
   }
 
  private:
   std::vector<u64> ordinals_;
+  std::size_t cursor_ = 0;
   u64 count_ = 0;
+};
+
+/// Link flap: the direction is down (drops everything) for `down` ns at the
+/// start of every `period` ns window, shifted by `phase`. Models interface
+/// resets / spanning-tree reconvergence windows deterministically in
+/// virtual time.
+class LinkFlapLoss final : public LossModel {
+ public:
+  LinkFlapLoss(TimeNs period, TimeNs down, TimeNs phase = 0)
+      : period_(period > 0 ? period : 1), down_(down), phase_(phase) {}
+  bool should_drop(Rng&, TimeNs now) override {
+    return (now + phase_) % period_ < down_;
+  }
+
+ private:
+  TimeNs period_;
+  TimeNs down_;
+  TimeNs phase_;
 };
 
 /// Full fault configuration for one link direction.
@@ -92,11 +129,24 @@ struct Faults {
   double reorder_rate = 0.0;        // probability a frame is delayed extra
   TimeNs reorder_delay = 0;         // extra delay applied to reordered frames
   TimeNs jitter = 0;                // uniform [0, jitter) added per frame
+  double dup_rate = 0.0;            // probability a frame is delivered twice
+  TimeNs dup_delay = 2 * kMicrosecond;  // lag of the duplicate copy
 
   static Faults none() { return {}; }
   static Faults bernoulli(double p) {
     Faults f;
     f.loss = std::make_unique<BernoulliLoss>(p);
+    return f;
+  }
+  static Faults duplicating(double rate, TimeNs delay = 2 * kMicrosecond) {
+    Faults f;
+    f.dup_rate = rate;
+    f.dup_delay = delay;
+    return f;
+  }
+  static Faults flapping(TimeNs period, TimeNs down, TimeNs phase = 0) {
+    Faults f;
+    f.loss = std::make_unique<LinkFlapLoss>(period, down, phase);
     return f;
   }
 };

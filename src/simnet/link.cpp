@@ -14,6 +14,7 @@ Link::Link(Simulation& sim, Rng& rng, LinkParams params, std::string name)
   stats_.frames_delivered.bind(reg.counter("simnet.link.frames_delivered"));
   stats_.bytes_delivered.bind(reg.counter("simnet.link.bytes_delivered"));
   stats_.frames_queued.bind(reg.counter("simnet.link.frames_queued"));
+  stats_.frames_duplicated.bind(reg.counter("simnet.link.frames_duplicated"));
 }
 
 TimeNs Link::serialization_delay(std::size_t wire_bytes) const {
@@ -36,7 +37,7 @@ void Link::transmit(Frame f) {
         static_cast<double>(start - sim_.now()));
   }
 
-  if (faults_.loss && faults_.loss->should_drop(rng_)) {
+  if (faults_.loss && faults_.loss->should_drop(rng_, sim_.now())) {
     ++stats_.frames_dropped;
     reg.trace().record(telemetry::TraceKind::kLinkDrop, f.id, f.wire_bytes());
     DGI_TRACE("link", "%s dropped frame id=%llu (%zu B)", name_.c_str(),
@@ -48,6 +49,17 @@ void Link::transmit(Frame f) {
   if (faults_.jitter > 0) arrive += rng_.range(0, faults_.jitter - 1);
   if (faults_.reorder_rate > 0.0 && rng_.chance(faults_.reorder_rate))
     arrive += faults_.reorder_delay;
+
+  // Frame duplication (e.g. L2 flooding / retransmitting middleboxes): a
+  // second identical copy arrives `dup_delay` after the original.
+  if (faults_.dup_rate > 0.0 && rng_.chance(faults_.dup_rate)) {
+    ++stats_.frames_duplicated;
+    sim_.at(arrive + faults_.dup_delay, [this, fr = f]() mutable {
+      ++stats_.frames_delivered;
+      stats_.bytes_delivered += fr.payload.size();
+      if (rx_) rx_(std::move(fr));
+    });
+  }
 
   sim_.at(arrive, [this, fr = std::move(f)]() mutable {
     ++stats_.frames_delivered;

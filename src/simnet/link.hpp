@@ -25,6 +25,7 @@ struct LinkStats {
   telemetry::Metric frames_delivered;
   telemetry::Metric bytes_delivered;
   telemetry::Metric frames_queued;  // frames that waited for the wire
+  telemetry::Metric frames_duplicated;  // extra copies injected by faults
 };
 
 class Link {

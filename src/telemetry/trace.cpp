@@ -9,7 +9,10 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::kIpReassemblyExpired: return "ip_reassembly_expired";
     case TraceKind::kTcpRetransmit: return "tcp_retransmit";
     case TraceKind::kRdRetransmit: return "rd_retransmit";
+    case TraceKind::kRdFastRetransmit: return "rd_fast_retransmit";
     case TraceKind::kRdGiveUp: return "rd_give_up";
+    case TraceKind::kRdGapSkip: return "rd_gap_skip";
+    case TraceKind::kRdRxGap: return "rd_rx_gap";
     case TraceKind::kWriteRecordChunk: return "write_record_chunk";
     case TraceKind::kWriteRecordComplete: return "write_record_complete";
     case TraceKind::kWriteRecordExpired: return "write_record_expired";

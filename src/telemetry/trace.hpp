@@ -26,7 +26,10 @@ enum class TraceKind : u8 {
   kIpReassemblyExpired,   // a = ident, b = bytes received
   kTcpRetransmit,         // a = sequence, b = payload bytes
   kRdRetransmit,          // a = sequence, b = retry count
+  kRdFastRetransmit,      // a = sequence, b = prior retry count
   kRdGiveUp,              // a = sequence, b = peer port
+  kRdGapSkip,             // a = skip-to base, b = peer port
+  kRdRxGap,               // a = first missing sequence, b = count skipped
   kWriteRecordChunk,      // a = message id, b = chunk bytes
   kWriteRecordComplete,   // a = message id, b = valid bytes
   kWriteRecordExpired,    // a = message id, b = valid bytes at expiry

@@ -48,6 +48,7 @@ UdQueuePair::UdQueuePair(Device& dev, const UdQpAttr& attr,
   stats_.placement_errors.bind(reg.counter("verbs.ud.placement_errors"));
   stats_.terminates_rx.bind(reg.counter("verbs.ud.terminates_rx"));
   stats_.rd_failures.bind(reg.counter("verbs.ud.rd_failures"));
+  stats_.rd_rx_gaps.bind(reg.counter("verbs.ud.rd_rx_gaps"));
   wr_log_.bind_telemetry(reg);
 
   if (attr.reliable) {
@@ -57,6 +58,12 @@ UdQueuePair::UdQueuePair(Device& dev, const UdQpAttr& attr,
       on_datagram(src, std::move(data));
     });
     rd_->on_failure([this](host::Endpoint, u64) { ++stats_.rd_failures; });
+    // Receiver-side holes (peer gave up / gap timeout): lost datagrams are
+    // absorbed by the DDP reassembly timeouts above this layer — count them
+    // so the loss is never silent (paper §IV.B: report, don't tear down).
+    rd_->on_gap([this](host::Endpoint, u64, u64 count) {
+      stats_.rd_rx_gaps += count;
+    });
   } else {
     socket_->set_handler([this](host::Endpoint src, Bytes data) {
       on_datagram(src, std::move(data));

@@ -34,6 +34,7 @@ struct UdQpStats {
   telemetry::Metric placement_errors;
   telemetry::Metric terminates_rx;
   telemetry::Metric rd_failures;        // RD layer gave up on a datagram
+  telemetry::Metric rd_rx_gaps;         // RD receiver skipped lost datagrams
 };
 
 class UdQueuePair final : public QueuePair,

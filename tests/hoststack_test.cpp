@@ -73,6 +73,24 @@ TEST(Udp, FragmentLossDropsWholeDatagram) {
   EXPECT_GE(n.b.ip().reassembly_expired(), 1u);
 }
 
+// Regression: a duplicated fragment used to count twice towards the
+// reassembly byte total, completing the datagram early with a zero-filled
+// hole where the still-missing fragment belonged. The receiver must either
+// get the exact payload or nothing.
+TEST(Udp, DuplicatedFragmentsDoNotCorruptReassembly) {
+  Net n;
+  n.fabric.set_egress_faults(0, sim::Faults::duplicating(1.0));
+  auto* sa = *n.a.udp().open(0);
+  auto* sb = *n.b.udp().open(700);
+  Bytes big = make_pattern(20'000, 5);  // 14 fragments, every one duplicated
+  ASSERT_TRUE(sa->send_to({n.b.addr(), 700}, ConstByteSpan{big}).ok());
+  n.fabric.sim().run();
+  auto got = sb->recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->second, big);                // byte-exact, no holes
+  EXPECT_FALSE(sb->recv().has_value());       // and exactly once
+}
+
 TEST(Udp, PortDemultiplexing) {
   Net n;
   auto* s1 = *n.b.udp().open(700);

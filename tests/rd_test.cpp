@@ -1,6 +1,9 @@
 // Reliable-datagram layer tests: delivery under loss, ordering, duplicate
-// suppression, windowing and give-up behaviour.
+// suppression, windowing, give-up propagation, adaptive RTO and the
+// bounded-memory receiver paths.
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "hoststack/host.hpp"
 #include "rd/reliable.hpp"
@@ -136,6 +139,252 @@ TEST(Rd, OversizePayloadRejected) {
   Bytes big(host::kMaxUdpPayload, 0);  // leaves no room for the RD header
   EXPECT_EQ(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{big}).code(),
             Errc::kInvalidArgument);
+}
+
+// Regression: the unordered dedupe set used to grow one entry per datagram
+// forever. Now it is a cumulative watermark + fixed bitmap: nothing stays
+// buffered and duplicates are still suppressed.
+TEST(Rd, UnorderedDedupeIsBoundedUnderDuplication) {
+  RdNet n;
+  n.cfg.ordered = false;
+  n.fabric.set_egress_faults(0, sim::Faults::duplicating(1.0));
+  n.init();
+  std::multiset<u32> got;
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) {
+    got.insert(static_cast<u32>(d[0]) | (static_cast<u32>(d[1]) << 8));
+  });
+  const int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    Bytes msg(16, 0);
+    msg[0] = static_cast<u8>(i & 0xFF);
+    msg[1] = static_cast<u8>(i >> 8);
+    ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+  }
+  n.fabric.sim().run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i)
+    EXPECT_EQ(got.count(static_cast<u32>(i)), 1u) << "index " << i;
+  EXPECT_GT(n.rdb->stats().duplicates, 0u);  // every datagram arrived twice
+  EXPECT_EQ(n.rdb->rx_buffered(), 0u);       // nothing parked in ooo state
+  EXPECT_EQ(n.b.ledger().category("rd.rx_ooo"), 0);
+}
+
+// Regression: after a sender give-up, ordered delivery used to stall
+// forever (the receiver kept waiting on next_expected and buffered every
+// later datagram). The GAP-SKIP advertisement resumes it.
+TEST(Rd, GiveUpGapSkipResumesOrderedDelivery) {
+  RdNet n;
+  // a->b frame ordinals: 1..3 = data seq 1..3; 4..6 = retransmits of seq 1
+  // (max_retries=3); ordinal 7 is the GAP-SKIP, which passes.
+  n.fabric.set_egress_faults(0, [] {
+    sim::Faults f;
+    f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1, 4, 5, 6});
+    return f;
+  }());
+  n.cfg.max_retries = 3;
+  n.init();
+  std::vector<u8> got;
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+  int failures = 0;
+  n.rda->on_failure([&](rd::Endpoint, u64 seq) {
+    ++failures;
+    EXPECT_EQ(seq, 1u);
+  });
+  u64 gap_first = 0, gap_count = 0;
+  n.rdb->on_gap([&](rd::Endpoint, u64 first, u64 count) {
+    gap_first = first;
+    gap_count = count;
+  });
+  for (u8 i = 1; i <= 3; ++i) {
+    Bytes msg(10, i);
+    ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+  }
+  n.fabric.sim().run();
+  // Seq 1 is abandoned; 2 and 3 must still be delivered, in order.
+  EXPECT_EQ(got, (std::vector<u8>{2, 3}));
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(gap_first, 1u);
+  EXPECT_EQ(gap_count, 1u);
+  EXPECT_EQ(n.rda->stats().give_ups, 1u);
+  EXPECT_EQ(n.rda->stats().gap_skips_tx, 1u);
+  EXPECT_EQ(n.rdb->stats().rx_gaps, 1u);
+  EXPECT_EQ(n.rdb->rx_buffered(), 0u);
+  EXPECT_EQ(n.b.ledger().category("rd.rx_ooo"), 0);
+}
+
+// Same stall, but the GAP-SKIP itself is lost: the receiver-side gap
+// timeout is the fallback that unblocks delivery.
+TEST(Rd, ReceiverGapTimeoutRecoversWhenGapSkipIsLost) {
+  RdNet n;
+  n.fabric.set_egress_faults(0, [] {
+    sim::Faults f;
+    f.loss = std::make_unique<sim::TargetedLoss>(
+        std::vector<u64>{1, 4, 5, 6, 7});  // 7 = the GAP-SKIP
+    return f;
+  }());
+  n.cfg.max_retries = 3;
+  n.cfg.gap_timeout = 5 * kMillisecond;
+  n.init();
+  std::vector<u8> got;
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+  int gaps = 0;
+  n.rdb->on_gap([&](rd::Endpoint, u64, u64) { ++gaps; });
+  for (u8 i = 1; i <= 3; ++i) {
+    Bytes msg(10, i);
+    ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+  }
+  n.fabric.sim().run();
+  EXPECT_EQ(got, (std::vector<u8>{2, 3}));
+  EXPECT_EQ(gaps, 1);
+  EXPECT_EQ(n.rdb->stats().rx_gaps, 1u);
+  EXPECT_EQ(n.rdb->rx_buffered(), 0u);
+}
+
+// Dup-ACKs of a stalled cumulative point trigger fast retransmit of the
+// hole without waiting for the retransmission timer.
+TEST(Rd, DupAcksTriggerFastRetransmit) {
+  RdNet n;
+  n.fabric.set_egress_faults(0, [] {
+    sim::Faults f;
+    f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1});
+    return f;
+  }());
+  n.init();
+  std::vector<u8> got;
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+  for (u8 i = 1; i <= 6; ++i) {
+    Bytes msg(10, i);
+    ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+  }
+  n.fabric.sim().run();
+  EXPECT_EQ(got, (std::vector<u8>{1, 2, 3, 4, 5, 6}));
+  EXPECT_GE(n.rda->stats().fast_retransmits, 1u);
+  EXPECT_EQ(n.rda->stats().give_ups, 0u);
+}
+
+// The ordered reorder buffer refuses datagrams beyond rx_ooo_limit (without
+// acking them), so receiver memory stays bounded and the refused datagrams
+// are recovered by retransmission once the hole closes.
+TEST(Rd, OrderedReorderBufferIsBounded) {
+  RdNet n;
+  n.fabric.set_egress_faults(0, [] {
+    sim::Faults f;
+    f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1});
+    return f;
+  }());
+  n.cfg.rx_ooo_limit = 8;
+  n.cfg.dup_ack_threshold = 1000;  // force timer-based recovery of seq 1
+  n.init();
+  std::vector<u8> got;
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+  const int kN = 30;
+  for (int i = 1; i <= kN; ++i) {
+    Bytes msg(10, static_cast<u8>(i));
+    ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+  }
+  n.fabric.sim().run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kN));
+  for (int i = 1; i <= kN; ++i)
+    EXPECT_EQ(got[static_cast<std::size_t>(i - 1)], static_cast<u8>(i));
+  EXPECT_GT(n.rdb->stats().rx_ooo_drops, 0u);
+  EXPECT_EQ(n.rda->stats().give_ups, 0u);
+  EXPECT_EQ(n.rdb->rx_buffered(), 0u);
+  EXPECT_EQ(n.b.ledger().category("rd.rx_ooo"), 0);
+  // The reorder buffer peak respected the cap (10-byte payloads).
+  EXPECT_LE(n.fabric.sim().telemetry().gauge("rd.rx_ooo_bytes").max(),
+            8.0 * 10.0);
+}
+
+// Acceptance: at identical seed and load, adaptive RTO produces fewer
+// (spurious) retransmits than the fixed-RTO baseline. Deep pipelining makes
+// real RTT exceed the fixed 400 us timeout, so the baseline retransmits
+// datagrams that were never lost; the estimator learns the real RTT.
+TEST(Rd, AdaptiveRtoAvoidsSpuriousRetransmits) {
+  struct Outcome {
+    u64 retransmits;
+    u64 give_ups;
+    int deliveries;
+  };
+  auto run = [](bool adaptive) {
+    RdNet n;
+    n.cfg.adaptive_rto = adaptive;
+    n.cfg.max_retries = 30;
+    n.init();
+    int deliveries = 0;
+    n.rdb->on_datagram([&](rd::Endpoint, Bytes) { ++deliveries; });
+    const Bytes msg = make_pattern(32 * 1024, 7);
+    const int kN = 100;
+    for (int i = 0; i < kN; ++i)
+      EXPECT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+    n.fabric.sim().run();
+    // The stats view and the telemetry registry agree.
+    EXPECT_EQ(n.rda->stats().retransmits,
+              n.fabric.sim().telemetry().counter_value("rd.retries"));
+    return Outcome{static_cast<u64>(n.rda->stats().retransmits),
+                   static_cast<u64>(n.rda->stats().give_ups), deliveries};
+  };
+  // Fixed 400 us RTO, deep pipelining, zero loss: queueing pushes the real
+  // RTT past the timeout, every retransmission is spurious and the extra
+  // load snowballs (the legacy failure mode this PR fixes).
+  const Outcome fixed = run(false);
+  EXPECT_GT(fixed.retransmits, 0u);
+  // Adaptive RTO at the identical seed/load: the estimator tracks the real
+  // RTT, so the transfer completes with no give-ups and far fewer (ideally
+  // zero) retransmissions of datagrams that were never lost.
+  const Outcome adaptive = run(true);
+  EXPECT_EQ(adaptive.deliveries, 100);
+  EXPECT_EQ(adaptive.give_ups, 0u);
+  EXPECT_LT(adaptive.retransmits, fixed.retransmits);
+}
+
+// Determinism: identical seed and fault pattern reproduce identical
+// retransmit/duplicate counts and delivery order.
+TEST(Rd, SameSeedSameRetransmitCounts) {
+  auto run = [] {
+    RdNet n;
+    n.fabric.set_egress_faults(0, sim::Faults::bernoulli(0.05));
+    n.fabric.set_egress_faults(1, sim::Faults::bernoulli(0.05));
+    n.cfg.max_retries = 30;
+    n.init();
+    std::vector<u8> got;
+    n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+    for (int i = 1; i <= 80; ++i) {
+      Bytes msg(40, static_cast<u8>(i));
+      EXPECT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+    }
+    n.fabric.sim().run();
+    return std::tuple{static_cast<u64>(n.rda->stats().retransmits),
+                      static_cast<u64>(n.rda->stats().fast_retransmits),
+                      static_cast<u64>(n.rdb->stats().duplicates), got};
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_GT(std::get<0>(first), 0u);
+  EXPECT_EQ(first, second);
+}
+
+// The cumulative-ack piggyback lets one ACK retire earlier datagrams whose
+// dedicated ACKs were lost, instead of forcing retransmission of each.
+TEST(Rd, CumulativeAckRetiresEarlierDatagrams) {
+  RdNet n;
+  // Drop the ACKs for seq 1 and 2 (b->a ordinals 1 and 2); the ACK for
+  // seq 3 then carries cum=3 and retires all three.
+  n.fabric.set_egress_faults(1, [] {
+    sim::Faults f;
+    f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1, 2});
+    return f;
+  }());
+  n.init();
+  int deliveries = 0;
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes) { ++deliveries; });
+  for (u8 i = 1; i <= 3; ++i) {
+    Bytes msg(10, i);
+    ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+  }
+  n.fabric.sim().run();
+  EXPECT_EQ(deliveries, 3);
+  EXPECT_EQ(n.rda->unacked(), 0u);
+  EXPECT_EQ(n.rda->stats().retransmits, 0u);  // cum ack, not retransmission
 }
 
 TEST(Rd, PerPeerSequencing) {

@@ -153,7 +153,7 @@ TEST(Faults, PeriodicLossDropsEveryNth) {
   sim::PeriodicLoss loss(3);
   Rng rng(1);
   int drops = 0;
-  for (int i = 0; i < 9; ++i) drops += loss.should_drop(rng) ? 1 : 0;
+  for (int i = 0; i < 9; ++i) drops += loss.should_drop(rng, 0) ? 1 : 0;
   EXPECT_EQ(drops, 3);
 }
 
@@ -161,7 +161,7 @@ TEST(Faults, TargetedLossHitsExactOrdinals) {
   sim::TargetedLoss loss({2, 5});
   Rng rng(1);
   std::vector<bool> dropped;
-  for (int i = 0; i < 6; ++i) dropped.push_back(loss.should_drop(rng));
+  for (int i = 0; i < 6; ++i) dropped.push_back(loss.should_drop(rng, 0));
   EXPECT_EQ(dropped, (std::vector<bool>{false, true, false, false, true,
                                         false}));
 }
@@ -171,7 +171,7 @@ TEST(Faults, BernoulliLossMatchesRate) {
   Rng rng(5);
   int drops = 0;
   const int n = 50'000;
-  for (int i = 0; i < n; ++i) drops += loss.should_drop(rng) ? 1 : 0;
+  for (int i = 0; i < n; ++i) drops += loss.should_drop(rng, 0) ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(drops) / n, 0.1, 0.01);
 }
 
@@ -183,7 +183,7 @@ TEST(Faults, GilbertElliottBurstsLoss) {
   bool prev = false;
   const int n = 100'000;
   for (int i = 0; i < n; ++i) {
-    const bool d = loss.should_drop(rng);
+    const bool d = loss.should_drop(rng, 0);
     if (d != prev) ++transitions;
     prev = d;
     drops += d ? 1 : 0;
@@ -191,6 +191,59 @@ TEST(Faults, GilbertElliottBurstsLoss) {
   EXPECT_GT(drops, 1000);
   // Bursty: far fewer state changes than drops.
   EXPECT_LT(transitions, drops);
+}
+
+TEST(Faults, TargetedLossSortsUnsortedOrdinals) {
+  sim::TargetedLoss loss({5, 2, 5});  // unsorted, with a duplicate
+  Rng rng(1);
+  std::vector<bool> dropped;
+  for (int i = 0; i < 6; ++i) dropped.push_back(loss.should_drop(rng, 0));
+  EXPECT_EQ(dropped, (std::vector<bool>{false, true, false, false, true,
+                                        false}));
+}
+
+TEST(Faults, LinkFlapDropsOnlyInsideDownWindows) {
+  sim::LinkFlapLoss flap(1000, 250);  // down for the first 250 ns of each ms
+  Rng rng(1);
+  EXPECT_TRUE(flap.should_drop(rng, 0));
+  EXPECT_TRUE(flap.should_drop(rng, 249));
+  EXPECT_FALSE(flap.should_drop(rng, 250));
+  EXPECT_FALSE(flap.should_drop(rng, 999));
+  EXPECT_TRUE(flap.should_drop(rng, 1000));   // next period
+  EXPECT_TRUE(flap.should_drop(rng, 51249));  // arbitrary later period
+  EXPECT_FALSE(flap.should_drop(rng, 51250));
+}
+
+TEST(Faults, LinkFlapPhaseShiftsTheWindow) {
+  sim::LinkFlapLoss flap(1000, 250, 500);
+  Rng rng(1);
+  EXPECT_FALSE(flap.should_drop(rng, 0));
+  EXPECT_TRUE(flap.should_drop(rng, 500));  // 500 + 500 = next window start
+  EXPECT_TRUE(flap.should_drop(rng, 749));
+  EXPECT_FALSE(flap.should_drop(rng, 750));
+}
+
+TEST(Link, DuplicationFaultDeliversASecondCopy) {
+  sim::Simulation s;
+  Rng rng(1);
+  sim::LinkParams p;
+  p.bandwidth_bps = 1e9;
+  p.propagation = 0;
+  sim::Link link(s, rng, p, "l");
+  sim::Faults f;
+  f.dup_rate = 1.0;  // duplicate every frame
+  f.dup_delay = 100;
+  link.set_faults(std::move(f));
+  std::vector<TimeNs> arrivals;
+  link.set_receiver([&](sim::Frame) { arrivals.push_back(s.now()); });
+  sim::Frame fr;
+  fr.payload.assign(962, 0);  // 1000 wire bytes -> 8000 ns serialization
+  link.transmit(std::move(fr));
+  s.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 100);  // the copy lags by dup_delay
+  EXPECT_EQ(link.stats().frames_duplicated, 1u);
+  EXPECT_EQ(link.stats().frames_delivered, 2u);
 }
 
 TEST(Switch, LearnsAndForwards) {
