@@ -51,7 +51,7 @@ void BM_MpaDeframe(benchmark::State& state) {
     state.PauseTiming();
     mpa::MpaReceiver rx;  // marker positions are stream-absolute
     std::size_t got = 0;
-    rx.on_ulpdu([&](Bytes u) { got += u.size(); });
+    rx.on_ulpdu([&](Bytes u, bool) { got += u.size(); });
     state.ResumeTiming();
     benchmark::DoNotOptimize(rx.consume(ConstByteSpan{stream}));
     benchmark::DoNotOptimize(got);

@@ -1,13 +1,41 @@
 #include "apps/sip/message.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 namespace dgiwarp::sip {
 
 namespace {
 const std::string kEmpty;
 const char* kVersion = "SIP/2.0";
+
+// Parser bounds: a corrupted or hostile message must not make the parser
+// allocate unbounded header state or scan forever. Real SIP stacks impose
+// similar limits (e.g. pjsip's PJSIP_MAX_URL_SIZE / header count caps).
+constexpr std::size_t kMaxHeaders = 128;
+constexpr std::size_t kMaxLineBytes = 8192;
+
+// Non-throwing decimal parse (std::stoul throws on garbage and overflows
+// are UB through sscanf %d). Accepts optional leading/trailing spaces.
+bool parse_decimal(const std::string& s, u64 max, u64& out) {
+  std::size_t i = 0;
+  while (i < s.size() && s[i] == ' ') ++i;
+  if (i == s.size()) return false;
+  u64 v = 0;
+  bool any = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == ' ') break;
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<u64>(c - '0');
+    if (v > max) return false;
+    any = true;
+  }
+  for (; i < s.size(); ++i)
+    if (s[i] != ' ') return false;
+  if (!any) return false;
+  out = v;
+  return true;
+}
 }  // namespace
 
 const char* method_name(Method m) {
@@ -84,9 +112,12 @@ Result<SipMessage> SipMessage::parse(ConstByteSpan wire) {
 
   SipMessage msg;
   std::size_t pos = 0;
+  // Reads the next CRLF-terminated line within the header section only
+  // (never past head_end, so a stray CRLF in the body is not a header).
   auto next_line = [&](std::string& line) {
+    if (pos > head_end) return false;
     const auto eol = text.find("\r\n", pos);
-    if (eol == std::string::npos || pos > head_end) return false;
+    if (eol == std::string::npos || eol > head_end) return false;
     line = text.substr(pos, eol - pos);
     pos = eol + 2;
     return true;
@@ -95,20 +126,32 @@ Result<SipMessage> SipMessage::parse(ConstByteSpan wire) {
   std::string start;
   if (!next_line(start) || start.empty())
     return Status(Errc::kProtocolError, "missing SIP start line");
+  if (start.size() > kMaxLineBytes)
+    return Status(Errc::kProtocolError, "SIP start line too long");
 
   if (start.rfind(kVersion, 0) == 0) {
     msg.method = Method::kResponse;
-    int code = 0;
-    char reason[128] = {0};
-    if (std::sscanf(start.c_str(), "SIP/2.0 %d %127[^\r\n]", &code, reason) < 1)
+    // "SIP/2.0 <code> [reason]" — hand-rolled; sscanf %d is UB on overflow.
+    std::size_t p = std::char_traits<char>::length(kVersion);
+    if (p >= start.size() || start[p] != ' ')
       return Status(Errc::kProtocolError, "bad SIP status line");
-    msg.status_code = code;
-    msg.reason = reason;
+    const auto code_end = start.find(' ', p + 1);
+    const std::string code_tok =
+        start.substr(p + 1, code_end == std::string::npos ? std::string::npos
+                                                          : code_end - p - 1);
+    u64 code = 0;
+    if (!parse_decimal(code_tok, 999, code) || code < 100)
+      return Status(Errc::kProtocolError, "bad SIP status code");
+    msg.status_code = static_cast<int>(code);
+    if (code_end != std::string::npos) msg.reason = start.substr(code_end + 1);
   } else {
     const auto sp1 = start.find(' ');
-    const auto sp2 = start.find(' ', sp1 + 1);
+    const auto sp2 =
+        sp1 == std::string::npos ? std::string::npos : start.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos)
       return Status(Errc::kProtocolError, "bad SIP request line");
+    if (start.substr(sp2 + 1) != kVersion)
+      return Status(Errc::kProtocolError, "bad SIP version");
     auto m = parse_method(start.substr(0, sp1));
     if (!m.ok()) return m.status();
     msg.method = *m;
@@ -117,8 +160,12 @@ Result<SipMessage> SipMessage::parse(ConstByteSpan wire) {
 
   std::string line;
   while (next_line(line) && !line.empty()) {
+    if (line.size() > kMaxLineBytes)
+      return Status(Errc::kProtocolError, "SIP header line too long");
+    if (msg.headers.size() >= kMaxHeaders)
+      return Status(Errc::kProtocolError, "too many SIP headers");
     const auto colon = line.find(':');
-    if (colon == std::string::npos)
+    if (colon == std::string::npos || colon == 0)
       return Status(Errc::kProtocolError, "bad SIP header line");
     std::string name = line.substr(0, colon);
     std::string value = line.substr(colon + 1);
@@ -128,8 +175,16 @@ Result<SipMessage> SipMessage::parse(ConstByteSpan wire) {
 
   const std::string& cl = msg.header("Content-Length");
   const std::size_t body_at = head_end + 4;
-  std::size_t body_len = text.size() - body_at;
-  if (!cl.empty()) body_len = std::min<std::size_t>(body_len, std::stoul(cl));
+  const std::size_t avail = text.size() - body_at;
+  std::size_t body_len = avail;
+  if (!cl.empty()) {
+    u64 declared = 0;
+    if (!parse_decimal(cl, wire.size(), declared))
+      return Status(Errc::kProtocolError, "bad SIP Content-Length");
+    // A length lie larger than what arrived is clamped to the bytes present
+    // (UDP SIP has no framing beyond the datagram); smaller trims the tail.
+    body_len = std::min<std::size_t>(avail, declared);
+  }
   msg.body = text.substr(body_at, body_len);
   return msg;
 }

@@ -1,0 +1,25 @@
+// RFC 1071 Internet checksum (16-bit ones'-complement sum). TCP uses this
+// over each segment so link-level corruption is caught and repaired by
+// retransmission instead of being streamed into MPA. Kept separate from
+// crc32.hpp: the transports checksum with this, the ULPs CRC with that.
+#pragma once
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+
+namespace dgiwarp {
+
+/// Ones'-complement sum of `data` as big-endian 16-bit words (odd trailing
+/// byte padded with zero), final complement. All-zero input yields 0xFFFF;
+/// a correct checksum field makes the recomputed sum-with-field == 0xFFFF.
+inline u16 internet_checksum(ConstByteSpan data) {
+  u32 sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += (u32{data[i]} << 8) | data[i + 1];
+  if (i < data.size()) sum += u32{data[i]} << 8;
+  while (sum >> 16) sum = (sum & 0xFFFFu) + (sum >> 16);
+  return static_cast<u16>(~sum);
+}
+
+}  // namespace dgiwarp

@@ -67,6 +67,21 @@ Result<ParsedSegment> parse_segment(ConstByteSpan wire, bool with_crc) {
   ParsedSegment p;
   p.header = *hr;
   p.payload = wire.subspan(kHeaderBytes, wire.size() - kHeaderBytes - trailer);
+
+  // Header self-consistency: never trust peer-supplied lengths. All of
+  // these are reachable with CRC off (or through a CRC collision), and each
+  // would otherwise let a corrupted field index past a buffer downstream.
+  const SegmentHeader& h = p.header;
+  // Valid RDMAP opcodes in the control nibble: 0x0-0x6 (RFC 5040) plus 0x8
+  // (Write-Record). Mirrors rdmap::Opcode, which ddp cannot include.
+  constexpr u16 kValidOpcodes = 0b0000'0001'0111'1111;
+  if (((kValidOpcodes >> h.opcode()) & 1) == 0)
+    return Status(Errc::kProtocolError, "DDP segment: bad RDMAP opcode");
+  if (!h.tagged() && h.queue > static_cast<u8>(Queue::kTerminate))
+    return Status(Errc::kProtocolError, "DDP segment: bad untagged queue");
+  if (u64{h.mo} + p.payload.size() > u64{h.msg_len})
+    return Status(Errc::kProtocolError,
+                  "DDP segment: offset + payload exceeds message length");
   return p;
 }
 

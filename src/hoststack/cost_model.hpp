@@ -126,9 +126,9 @@ inline constexpr std::size_t kWireMtu = 1500;       // Ethernet payload
 inline constexpr std::size_t kIpHeaderBytes = 20;
 inline constexpr std::size_t kUdpHeaderBytes = 8;
 /// TCP header incl. the options block we always send (like timestamps).
-inline constexpr std::size_t kTcpHeaderBytes = 28;
+inline constexpr std::size_t kTcpHeaderBytes = 30;
 inline constexpr std::size_t kIpPayloadMtu = kWireMtu - kIpHeaderBytes;  // 1480
-inline constexpr std::size_t kTcpMss = kIpPayloadMtu - kTcpHeaderBytes;  // 1452
+inline constexpr std::size_t kTcpMss = kIpPayloadMtu - kTcpHeaderBytes;  // 1450
 /// Maximum UDP datagram payload (64 KB IP datagram minus headers).
 inline constexpr std::size_t kMaxUdpPayload = 65'535 - kIpHeaderBytes -
                                               kUdpHeaderBytes;  // 65507

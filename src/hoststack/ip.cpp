@@ -50,6 +50,7 @@ IpLayer::IpLayer(HostCtx& ctx) : ctx_(ctx) {
   dgrams_rx_.bind(reg.counter("hoststack.ip.datagrams_rx"));
   reassembly_expired_.bind(reg.counter("hoststack.ip.reassembly_expired"));
   frags_tx_.bind(reg.counter("hoststack.ip.fragments_tx"));
+  parse_rejects_.bind(reg.counter("hoststack.ip.parse_rejects"));
 }
 
 void IpLayer::register_protocol(u8 proto, ProtocolHandler handler) {
@@ -101,6 +102,7 @@ void IpLayer::on_frame(sim::Frame f) {
   WireReader r(ConstByteSpan{f.payload});
   auto hr = IpHeader::parse(r);
   if (!hr.ok()) {
+    ++parse_rejects_;
     DGI_WARN("ip", "malformed frame dropped (%zu B)", f.payload.size());
     return;
   }
@@ -114,11 +116,20 @@ void IpLayer::on_frame(sim::Frame f) {
       h.offset == 0 && (h.flags & kFlagMoreFragments) == 0;
   if (single_fragment) {
     ++dgrams_rx_;
-    deliver(f.src, h.proto, Bytes(body.begin(), body.end()));
+    deliver(f.src, h.proto, Bytes(body.begin(), body.end()), f.corrupted);
     return;
   }
 
-  // Reassembly path.
+  // Reassembly path. `total` comes off the wire, so a corrupted length
+  // field could otherwise demand a multi-gigabyte buffer or a zero-byte
+  // "complete" datagram — bound it to what IP can actually carry before it
+  // sizes anything.
+  constexpr std::size_t kMaxIpPayload = 65'535 - kIpHeaderBytes;
+  if (h.total == 0 || h.total > kMaxIpPayload) {
+    ++parse_rejects_;
+    DGI_WARN("ip", "fragment with bogus total=%u; dropped", h.total);
+    return;
+  }
   const FragKey key{f.src, h.proto, h.ident};
   auto [it, inserted] = partials_.try_emplace(key);
   Partial& p = it->second;
@@ -141,18 +152,22 @@ void IpLayer::on_frame(sim::Frame f) {
       }
     });
   }
-  if (h.offset + body.size() > p.data.size()) {
+  if (u64{h.offset} + body.size() > p.data.size()) {
+    ++parse_rejects_;
     DGI_WARN("ip", "fragment beyond datagram bounds; dropped");
     return;
   }
-  std::memcpy(p.data.data() + h.offset, body.data(), body.size());
+  if (f.corrupted) p.tainted = true;
+  if (!body.empty())
+    std::memcpy(p.data.data() + h.offset, body.data(), body.size());
   p.received += cover_range(p, h.offset, h.offset + body.size());
 
   if (p.received >= p.total) {
     Bytes whole = std::move(p.data);
+    const bool tainted = p.tainted;
     partials_.erase(it);
     ++dgrams_rx_;
-    deliver(f.src, h.proto, std::move(whole));
+    deliver(f.src, h.proto, std::move(whole), tainted);
   }
 }
 
@@ -176,13 +191,13 @@ std::size_t IpLayer::cover_range(Partial& p, std::size_t begin,
   return fresh;
 }
 
-void IpLayer::deliver(u32 src_ip, u8 proto, Bytes datagram) {
+void IpLayer::deliver(u32 src_ip, u8 proto, Bytes datagram, bool tainted) {
   auto it = handlers_.find(proto);
   if (it == handlers_.end()) {
     DGI_DEBUG("ip", "no handler for proto %u", proto);
     return;
   }
-  it->second(src_ip, std::move(datagram));
+  it->second(src_ip, std::move(datagram), tainted);
 }
 
 }  // namespace dgiwarp::host

@@ -52,7 +52,12 @@ struct EndpointHash {
 
 class IpLayer {
  public:
-  using ProtocolHandler = std::function<void(u32 src_ip, Bytes datagram)>;
+  /// `tainted` is the simulator's corruption oracle: true if any frame that
+  /// contributed bytes to this datagram was damaged in flight. Transports
+  /// forward it so CRC-off runs can count silent escapes; it must never
+  /// steer protocol decisions.
+  using ProtocolHandler =
+      std::function<void(u32 src_ip, Bytes datagram, bool tainted)>;
 
   explicit IpLayer(HostCtx& ctx);
 
@@ -75,6 +80,7 @@ class IpLayer {
   u64 datagrams_delivered() const { return dgrams_rx_; }
   u64 reassembly_expired() const { return reassembly_expired_; }
   u64 fragments_sent() const { return frags_tx_; }
+  u64 parse_rejects() const { return parse_rejects_; }
 
  private:
   struct FragKey {
@@ -90,6 +96,7 @@ class IpLayer {
     Bytes data;                  // reassembly buffer (sized on first frag)
     std::size_t received = 0;    // distinct payload bytes received so far
     std::size_t total = 0;       // 0 until the last fragment arrives
+    bool tainted = false;        // any contributing frame was corrupted
     // Disjoint covered [begin, end) ranges. Duplicate or overlapping
     // fragments (duplicating links, retransmitting middleboxes) must not
     // count twice, or reassembly completes early with a hole.
@@ -102,7 +109,7 @@ class IpLayer {
   static std::size_t cover_range(Partial& p, std::size_t begin,
                                  std::size_t end);
 
-  void deliver(u32 src_ip, u8 proto, Bytes datagram);
+  void deliver(u32 src_ip, u8 proto, Bytes datagram, bool tainted);
 
   HostCtx& ctx_;
   std::unordered_map<u8, ProtocolHandler> handlers_;
@@ -114,6 +121,7 @@ class IpLayer {
   telemetry::Metric dgrams_rx_;
   telemetry::Metric reassembly_expired_;
   telemetry::Metric frags_tx_;
+  telemetry::Metric parse_rejects_;
 };
 
 }  // namespace dgiwarp::host

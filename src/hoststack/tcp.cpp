@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/checksum.hpp"
 #include "common/log.hpp"
 
 namespace dgiwarp::host {
@@ -16,16 +17,31 @@ constexpr u8 kFlagRst = 0x08;
 
 constexpr TimeNs kMaxRto = 2 * kSecond;
 
+// Consecutive RTOs with no forward progress before the connection is
+// aborted (RST + close notification). Without a cap, a half-open socket —
+// e.g. one conjured by a corrupted SYN whose peer never answers — would
+// retransmit its SYN-ACK forever and the simulation would never quiesce.
+// Mirrors Linux's split between tcp_synack_retries (handshake, short) and
+// tcp_retries2 (established, long): an established flow must survive loss
+// bursts far longer than a half-open embryo deserves to live.
+constexpr int kMaxHandshakeRtoFailures = 8;
+constexpr int kMaxRtoFailures = 30;
+
 }  // namespace
 
 /// Parsed view of one TCP segment (header fields + payload span).
 struct TcpSocket::SegmentView {
+  /// Byte offset of the checksum field within the serialized header:
+  /// sp(2) dp(2) seq(8) ack(8) flags(1) rsv(1) wnd(4) = 26.
+  static constexpr std::size_t kChecksumOffset = 26;
+
   u16 src_port = 0;
   u16 dst_port = 0;
   u64 seq = 0;
   u64 ack = 0;
   u8 flags = 0;
   u32 wnd = 0;
+  u16 checksum = 0;
   ConstByteSpan payload;
 
   bool has(u8 f) const { return (flags & f) != 0; }
@@ -36,6 +52,7 @@ struct TcpSocket::SegmentView {
 
   static void serialize(Bytes& out, u16 sp, u16 dp, u64 seq, u64 ack, u8 flags,
                         u32 wnd, ConstByteSpan payload) {
+    const std::size_t base = out.size();
     WireWriter w(out);
     w.u16be(sp);
     w.u16be(dp);
@@ -44,8 +61,15 @@ struct TcpSocket::SegmentView {
     w.u8be(flags);
     w.u8be(0);  // reserved
     w.u32be(wnd);
+    w.u16be(0);  // checksum placeholder
     w.u16be(static_cast<u16>(payload.size()));
     w.bytes(payload);
+    // Checksum over the whole segment with the field zeroed, then patched
+    // in place (computation itself is modelled as NIC offload: no CPU cost).
+    const u16 sum = internet_checksum(
+        ConstByteSpan{out}.subspan(base, out.size() - base));
+    out[base + kChecksumOffset] = static_cast<u8>(sum >> 8);
+    out[base + kChecksumOffset + 1] = static_cast<u8>(sum & 0xFF);
   }
 
   static Result<SegmentView> parse(ConstByteSpan dgram) {
@@ -58,6 +82,7 @@ struct TcpSocket::SegmentView {
     s.flags = r.u8be();
     r.u8be();
     s.wnd = r.u32be();
+    s.checksum = r.u16be();
     const u16 len = r.u16be();
     if (!r.ok() || r.remaining() < len)
       return Status(Errc::kProtocolError, "short TCP segment");
@@ -156,7 +181,7 @@ void TcpSocket::abort() {
   destroy();
 }
 
-void TcpSocket::on_segment(const SegmentView& seg) {
+void TcpSocket::on_segment(const SegmentView& seg, bool tainted) {
   ++seg_rx_;
   HostCtx& c = layer_.ctx();
   c.cpu.charge_kernel(seg.pure_ack() ? c.costs.tcp_ack_rx : c.costs.tcp_segment_rx);
@@ -189,7 +214,7 @@ void TcpSocket::on_segment(const SegmentView& seg) {
         timer_armed_ = false;
         enter_established();
         // Fall through to regular processing for piggybacked data.
-        handle_data(seg);
+        handle_data(seg, tainted);
       }
       return;
     default:
@@ -197,7 +222,7 @@ void TcpSocket::on_segment(const SegmentView& seg) {
   }
 
   if (seg.has(kFlagAck)) handle_ack(seg);
-  handle_data(seg);
+  handle_data(seg, tainted);
 }
 
 void TcpSocket::handle_ack(const SegmentView& seg) {
@@ -223,6 +248,7 @@ void TcpSocket::handle_ack(const SegmentView& seg) {
     }
     snd_una_ = seg.ack;
     dup_acks_ = 0;
+    rto_failures_ = 0;  // forward progress: reset the give-up clock
 
     // Congestion window growth.
     if (cwnd_ < ssthresh_) {
@@ -268,7 +294,7 @@ void TcpSocket::handle_ack(const SegmentView& seg) {
   }
 }
 
-void TcpSocket::handle_data(const SegmentView& seg) {
+void TcpSocket::handle_data(const SegmentView& seg, bool tainted) {
   if (seg.has(kFlagFin)) {
     fin_received_ = true;
     fin_seq_ = seg.seq + seg.payload.size();
@@ -292,7 +318,7 @@ void TcpSocket::handle_data(const SegmentView& seg) {
       return;
     }
     if (!ooo_.contains(seq)) {
-      ooo_.emplace(seq, Bytes(payload.begin(), payload.end()));
+      ooo_.emplace(seq, OooSeg{Bytes(payload.begin(), payload.end()), tainted});
       ooo_bytes_ += payload.size();
     }
     deliver_in_order();
@@ -305,10 +331,12 @@ void TcpSocket::handle_data(const SegmentView& seg) {
 
 void TcpSocket::deliver_in_order() {
   Bytes chunk;
+  bool chunk_tainted = false;
   while (true) {
     auto it = ooo_.begin();
     if (it == ooo_.end() || it->first > rcv_nxt_) break;
-    Bytes seg = std::move(it->second);
+    Bytes seg = std::move(it->second.data);
+    const bool seg_tainted = it->second.tainted;
     const u64 seq = it->first;
     ooo_.erase(it);
     ooo_bytes_ -= std::min<std::size_t>(ooo_bytes_, seg.size());
@@ -316,6 +344,7 @@ void TcpSocket::deliver_in_order() {
     if (seq < rcv_nxt_) skip = rcv_nxt_ - seq;  // partial overlap
     if (skip >= seg.size()) continue;
     chunk.insert(chunk.end(), seg.begin() + static_cast<long>(skip), seg.end());
+    if (seg_tainted) chunk_tainted = true;
     rcv_nxt_ = seq + seg.size();
   }
 
@@ -327,6 +356,7 @@ void TcpSocket::deliver_in_order() {
     // all buffered stream data. The wakeup cost is therefore per-delivery,
     // not per-segment, and amortises away under streaming load.
     rx_app_buf_.insert(rx_app_buf_.end(), chunk.begin(), chunk.end());
+    if (chunk_tainted) rx_app_tainted_ = true;
     if (!rx_delivery_scheduled_) {
       rx_delivery_scheduled_ = true;
       HostCtx& c = layer_.ctx();
@@ -335,14 +365,16 @@ void TcpSocket::deliver_in_order() {
         self->rx_delivery_scheduled_ = false;
         Bytes data = std::move(self->rx_app_buf_);
         self->rx_app_buf_.clear();
+        const bool tainted = self->rx_app_tainted_;
+        self->rx_app_tainted_ = false;
         if (data.empty()) return;
         HostCtx& hc = self->layer_.ctx();
         const TimeNs cost =
             hc.costs.tcp_deliver_fixed +
             static_cast<TimeNs>(hc.costs.tcp_copy_ns_per_byte *
                                 static_cast<double>(data.size()));
-        hc.cpu.charge_kernel_then(cost, [self, data = std::move(data)] {
-          if (self->on_data_) self->on_data_(ConstByteSpan{data});
+        hc.cpu.charge_kernel_then(cost, [self, tainted, data = std::move(data)] {
+          if (self->on_data_) self->on_data_(ConstByteSpan{data}, tainted);
         });
       });
     }
@@ -480,6 +512,19 @@ void TcpSocket::on_retransmit_timeout(u64 generation) {
   timer_armed_ = false;
   if (flight_size() == 0) return;
 
+  const bool handshake =
+      state_ == State::kSynSent || state_ == State::kSynRcvd;
+  const int max_failures =
+      handshake ? kMaxHandshakeRtoFailures : kMaxRtoFailures;
+  if (++rto_failures_ >= max_failures) {
+    DGI_DEBUG("tcp", "RTO give-up on :%u after %d failures", local_.port,
+              rto_failures_);
+    if (on_connect_ && state_ == State::kSynSent)
+      on_connect_(Status(Errc::kTimedOut, "tcp connect timed out"));
+    abort();
+    return;
+  }
+
   // RTO: collapse the window and back off.
   ssthresh_ =
       std::max(static_cast<double>(flight_size()) / 2.0, 2.0 * kTcpMss);
@@ -549,9 +594,13 @@ void TcpSocket::destroy() {
 // ---------------------------------------------------------------------------
 
 TcpLayer::TcpLayer(HostCtx& ctx, IpLayer& ip) : ctx_(ctx), ip_(ip) {
-  ip_.register_protocol(kIpProtoTcp, [this](u32 src_ip, Bytes dgram) {
-    on_datagram(src_ip, std::move(dgram));
-  });
+  ip_.register_protocol(kIpProtoTcp,
+                        [this](u32 src_ip, Bytes dgram, bool tainted) {
+                          on_datagram(src_ip, std::move(dgram), tainted);
+                        });
+  auto& reg = ctx_.sim.telemetry();
+  checksum_drops_.bind(reg.counter("hoststack.tcp.checksum_drops"));
+  parse_rejects_.bind(reg.counter("hoststack.tcp.parse_rejects"));
 }
 
 Result<TcpSocket::Ptr> TcpLayer::connect(Endpoint dst) {
@@ -573,17 +622,35 @@ Status TcpLayer::listen(u16 port, AcceptHandler on_accept) {
 
 void TcpLayer::stop_listening(u16 port) { listeners_.erase(port); }
 
-void TcpLayer::on_datagram(u32 src_ip, Bytes dgram) {
+void TcpLayer::on_datagram(u32 src_ip, Bytes dgram, bool tainted) {
   auto sr = TcpSocket::SegmentView::parse(ConstByteSpan{dgram});
-  if (!sr.ok()) return;
+  if (!sr.ok()) {
+    ++parse_rejects_;
+    return;
+  }
   const TcpSocket::SegmentView& seg = *sr;
+
+  if (validate_checksum_) {
+    // Recompute over the datagram with the checksum field zeroed (we own
+    // `dgram`; seg.payload points past the header, so this is safe).
+    dgram[TcpSocket::SegmentView::kChecksumOffset] = 0;
+    dgram[TcpSocket::SegmentView::kChecksumOffset + 1] = 0;
+    if (internet_checksum(ConstByteSpan{dgram}) != seg.checksum) {
+      // Silent drop, like a real stack: the sender's RTO/fast-retransmit
+      // resends the damaged segment. No RST — the header itself may lie.
+      ++checksum_drops_;
+      DGI_DEBUG("tcp", "checksum mismatch on :%u; segment dropped",
+                seg.dst_port);
+      return;
+    }
+  }
 
   const ConnKey key{seg.dst_port, Endpoint{src_ip, seg.src_port}};
   auto it = conns_.find(key);
   if (it != conns_.end()) {
     // Keep the socket alive across the handler even if it destroys itself.
     TcpSocket::Ptr sock = it->second;
-    sock->on_segment(seg);
+    sock->on_segment(seg, tainted);
     return;
   }
 

@@ -24,7 +24,11 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
  public:
   using Ptr = std::shared_ptr<TcpSocket>;
   using ConnectHandler = std::function<void(Status)>;
-  using DataHandler = std::function<void(ConstByteSpan)>;
+  /// (in-order stream chunk, corruption taint). `tainted` is true if any
+  /// segment contributing to the chunk rode a corrupted frame — the
+  /// simulator's measurement oracle (see IpLayer::ProtocolHandler); it can
+  /// only be true when checksum validation is off or a checksum collided.
+  using DataHandler = std::function<void(ConstByteSpan, bool tainted)>;
   using CloseHandler = std::function<void()>;
   using WritableHandler = std::function<void()>;
 
@@ -89,9 +93,9 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
 
   void start_connect();
   void enter_established();
-  void on_segment(const SegmentView& seg);
+  void on_segment(const SegmentView& seg, bool tainted);
   void handle_ack(const SegmentView& seg);
-  void handle_data(const SegmentView& seg);
+  void handle_data(const SegmentView& seg, bool tainted);
   void deliver_in_order();
   void try_send();
   void send_segment(u64 seq, ConstByteSpan payload, u8 flags, bool retx);
@@ -121,12 +125,17 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   bool nodelay_ = false;
 
   // Receive side.
+  struct OooSeg {
+    Bytes data;
+    bool tainted = false;
+  };
   u64 irs_ = 0;       // initial receive sequence
   u64 rcv_nxt_ = 0;   // next expected
-  std::map<u64, Bytes> ooo_;  // out-of-order segments keyed by seq
+  std::map<u64, OooSeg> ooo_;  // out-of-order segments keyed by seq
   std::size_t ooo_bytes_ = 0;
   std::size_t rcv_buf_limit_ = 256 * 1024;
   Bytes rx_app_buf_;                   // in-order data awaiting app wakeup
+  bool rx_app_tainted_ = false;        // taint pending with rx_app_buf_
   bool rx_delivery_scheduled_ = false;
   bool fin_received_ = false;
   u64 fin_seq_ = 0;
@@ -144,6 +153,7 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   bool rtt_pending_ = false;
   u64 timer_generation_ = 0;
   bool timer_armed_ = false;
+  int rto_failures_ = 0;  // consecutive RTOs without an ACK advancing snd_una_
 
   // Handlers.
   ConnectHandler on_connect_;
@@ -187,6 +197,15 @@ class TcpLayer {
   void set_min_rto(TimeNs t) { min_rto_ = t; }
   TimeNs min_rto() const { return min_rto_; }
 
+  /// Segment checksum validation (on by default; the checksum itself is
+  /// always generated). Tests that want corrupted bytes to reach the MPA
+  /// CRC — the paper's ablation — turn this off.
+  void set_validate_checksum(bool v) { validate_checksum_ = v; }
+  bool validate_checksum() const { return validate_checksum_; }
+
+  u64 checksum_drops() const { return checksum_drops_; }
+  u64 parse_rejects() const { return parse_rejects_; }
+
  private:
   friend class TcpSocket;
   struct ConnKey {
@@ -198,7 +217,7 @@ class TcpLayer {
     }
   };
 
-  void on_datagram(u32 src_ip, Bytes dgram);
+  void on_datagram(u32 src_ip, Bytes dgram, bool tainted);
   void register_conn(const TcpSocket::Ptr& sock);
   void unregister_conn(TcpSocket* sock);
   u16 alloc_ephemeral();
@@ -209,6 +228,9 @@ class TcpLayer {
   std::map<u16, AcceptHandler> listeners_;
   u16 next_ephemeral_ = 49'152;
   TimeNs min_rto_ = 200 * kMillisecond;  // Linux default
+  bool validate_checksum_ = true;
+  telemetry::Metric checksum_drops_;
+  telemetry::Metric parse_rejects_;
 };
 
 }  // namespace dgiwarp::host

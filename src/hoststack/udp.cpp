@@ -76,10 +76,10 @@ std::optional<std::pair<Endpoint, Bytes>> UdpSocket::recv() {
   return front;
 }
 
-void UdpSocket::deliver(Endpoint src, Bytes data) {
+void UdpSocket::deliver(Endpoint src, Bytes data, bool tainted) {
   ++rx_count_;
   if (handler_) {
-    handler_(src, std::move(data));
+    handler_(src, std::move(data), tainted);
     return;
   }
   if (rx_queue_.size() >= rx_queue_limit_) {
@@ -91,9 +91,11 @@ void UdpSocket::deliver(Endpoint src, Bytes data) {
 }
 
 UdpLayer::UdpLayer(HostCtx& ctx, IpLayer& ip) : ctx_(ctx), ip_(ip) {
-  ip_.register_protocol(kIpProtoUdp, [this](u32 src_ip, Bytes dgram) {
-    on_datagram(src_ip, std::move(dgram));
-  });
+  ip_.register_protocol(kIpProtoUdp,
+                        [this](u32 src_ip, Bytes dgram, bool tainted) {
+                          on_datagram(src_ip, std::move(dgram), tainted);
+                        });
+  parse_rejects_.bind(ctx_.sim.telemetry().counter("hoststack.udp.parse_rejects"));
 }
 
 Result<UdpSocket*> UdpLayer::open(u16 port) {
@@ -123,11 +125,26 @@ void UdpLayer::close(UdpSocket* sock) {
   if (sock) sockets_.erase(sock->local_port());
 }
 
-void UdpLayer::on_datagram(u32 src_ip, Bytes dgram) {
+void UdpLayer::on_datagram(u32 src_ip, Bytes dgram, bool tainted) {
   WireReader r(ConstByteSpan{dgram});
   auto hr = UdpHeader::parse(r);
-  if (!hr.ok()) return;
+  if (!hr.ok()) {
+    ++parse_rejects_;
+    return;
+  }
   const UdpHeader& h = *hr;
+
+  // The length field must agree with what IP actually delivered: shorter is
+  // tolerated (trailing padding is cut, per real UDP), longer is a lie.
+  ConstByteSpan body = r.rest();
+  if (h.length < kUdpHeaderBytes ||
+      std::size_t{h.length} - kUdpHeaderBytes > body.size()) {
+    ++parse_rejects_;
+    DGI_DEBUG("udp", "length field %u disagrees with %zu B datagram; dropped",
+              h.length, dgram.size());
+    return;
+  }
+  body = body.first(std::size_t{h.length} - kUdpHeaderBytes);
 
   auto it = sockets_.find(h.dst_port);
   if (it == sockets_.end()) {
@@ -135,7 +152,6 @@ void UdpLayer::on_datagram(u32 src_ip, Bytes dgram) {
     return;
   }
 
-  ConstByteSpan body = r.rest();
   Bytes payload(body.begin(), body.end());
 
   // Kernel rx: socket demux + wakeup + kernel->user copy of the (fully
@@ -156,14 +172,14 @@ void UdpLayer::on_datagram(u32 src_ip, Bytes dgram) {
   // Interrupt/wakeup latency first (pure delay), then the CPU-time charge.
   // Re-resolve the socket at delivery time: it may be closed while the
   // kernel-processing charge is still pending.
-  c.sim.after(c.costs.rx_wakeup_delay, [this, cost, dst_port, src,
+  c.sim.after(c.costs.rx_wakeup_delay, [this, cost, dst_port, src, tainted,
                                         p = std::move(payload)]() mutable {
-    ctx_.cpu.charge_kernel_then(cost,
-                         [this, dst_port, src, p = std::move(p)]() mutable {
-                           auto sit = sockets_.find(dst_port);
-                           if (sit != sockets_.end())
-                             sit->second->deliver(src, std::move(p));
-                         });
+    ctx_.cpu.charge_kernel_then(
+        cost, [this, dst_port, src, tainted, p = std::move(p)]() mutable {
+          auto sit = sockets_.find(dst_port);
+          if (sit != sockets_.end())
+            sit->second->deliver(src, std::move(p), tainted);
+        });
   });
 }
 

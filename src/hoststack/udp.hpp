@@ -19,8 +19,10 @@ class UdpLayer;
 /// UdpLayer::close() or automatically when the layer is destroyed.
 class UdpSocket {
  public:
-  /// (source endpoint, datagram payload); runs after kernel rx costs.
-  using DatagramHandler = std::function<void(Endpoint, Bytes)>;
+  /// (source endpoint, datagram payload, corruption taint); runs after
+  /// kernel rx costs. `tainted` is the simulator's oracle (see
+  /// IpLayer::ProtocolHandler) — measurement only, never protocol input.
+  using DatagramHandler = std::function<void(Endpoint, Bytes, bool tainted)>;
 
   u16 local_port() const { return port_; }
 
@@ -44,7 +46,7 @@ class UdpSocket {
   friend class UdpLayer;
   UdpSocket(UdpLayer& layer, u16 port);
 
-  void deliver(Endpoint src, Bytes data);
+  void deliver(Endpoint src, Bytes data, bool tainted);
 
   UdpLayer& layer_;
   u16 port_;
@@ -69,13 +71,16 @@ class UdpLayer {
   HostCtx& ctx() { return ctx_; }
   IpLayer& ip() { return ip_; }
 
+  u64 parse_rejects() const { return parse_rejects_; }
+
  private:
-  void on_datagram(u32 src_ip, Bytes dgram);
+  void on_datagram(u32 src_ip, Bytes dgram, bool tainted);
 
   HostCtx& ctx_;
   IpLayer& ip_;
   std::unordered_map<u16, std::unique_ptr<UdpSocket>> sockets_;
   u16 next_ephemeral_ = 49'152;
+  telemetry::Metric parse_rejects_;
 };
 
 }  // namespace dgiwarp::host

@@ -325,7 +325,7 @@ void ISockStack::set_datagram_handler(int fd, DatagramHandler h) {
   s->on_datagram = std::move(h);
   if (s->native) {
     Sock* sp = s;
-    s->native->set_handler([this, sp](Endpoint src, Bytes data) {
+    s->native->set_handler([this, sp](Endpoint src, Bytes data, bool) {
       ++sp->stats.datagrams_rx;
       sp->stats.bytes_rx += data.size();
       if (sp->on_datagram) sp->on_datagram(src, ConstByteSpan{data});

@@ -91,7 +91,7 @@ Bytes MpaSender::frame(ConstByteSpan ulpdu) {
   return out;
 }
 
-Status MpaReceiver::consume(ConstByteSpan stream) {
+Status MpaReceiver::consume(ConstByteSpan stream, bool tainted) {
   if (poisoned_) return Status(Errc::kConnectionReset, "MPA stream poisoned");
 
   // Strip markers by absolute stream position.
@@ -118,11 +118,30 @@ Status MpaReceiver::consume(ConstByteSpan stream) {
     }
     pending_.insert(pending_.end(), stream.begin() + static_cast<long>(off),
                     stream.begin() + static_cast<long>(off + n));
+    if (!taint_runs_.empty() && taint_runs_.back().second == tainted)
+      taint_runs_.back().first += n;
+    else
+      taint_runs_.emplace_back(n, tainted);
     off += n;
     pos_ += n;
   }
 
   return process_defragged();
+}
+
+// Consume `n` bytes worth of taint runs (front of pending_); returns true
+// if any consumed byte was tainted.
+bool MpaReceiver::take_taint(std::size_t n) {
+  bool tainted = false;
+  while (n > 0 && !taint_runs_.empty()) {
+    auto& [run, t] = taint_runs_.front();
+    const std::size_t take = std::min(run, n);
+    if (t) tainted = true;
+    run -= take;
+    n -= take;
+    if (run == 0) taint_runs_.pop_front();
+  }
+  return tainted;
 }
 
 Status MpaReceiver::process_defragged() {
@@ -144,15 +163,18 @@ Status MpaReceiver::process_defragged() {
         ++crc_failures_;
         poisoned_ = true;
         pending_.clear();
+        taint_runs_.clear();
         return Status(Errc::kCrcError, "MPA FPDU CRC mismatch");
       }
     }
 
     ++delivered_;
+    const bool fpdu_tainted = take_taint(total);
     if (handler_) {
       handler_(Bytes(pending_.begin() + static_cast<long>(head + kLengthBytes),
                      pending_.begin() + static_cast<long>(head + kLengthBytes +
-                                                          len)));
+                                                          len)),
+               fpdu_tainted);
     }
     head += total;
   }

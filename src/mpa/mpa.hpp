@@ -69,7 +69,10 @@ class MpaSender {
 /// CRCs and yields complete ULPDUs in order.
 class MpaReceiver {
  public:
-  using UlpduHandler = std::function<void(Bytes)>;
+  /// (ULPDU, corruption taint). `tainted` mirrors the simulator's oracle:
+  /// true when any stream byte of the FPDU rode a corrupted frame — with
+  /// the MPA CRC on it can only be true for a CRC32 collision.
+  using UlpduHandler = std::function<void(Bytes, bool tainted)>;
 
   explicit MpaReceiver(MpaConfig cfg = {}) : cfg_(cfg) {}
 
@@ -78,7 +81,7 @@ class MpaReceiver {
   /// Feed stream bytes (any fragmentation). Returns an error if a CRC fails
   /// or a length field is nonsensical; the stream is then poisoned (per the
   /// spec an MPA stream error is fatal to the connection).
-  Status consume(ConstByteSpan stream);
+  Status consume(ConstByteSpan stream, bool tainted = false);
 
   u64 ulpdus_delivered() const { return delivered_; }
   u64 crc_failures() const { return crc_failures_; }
@@ -86,10 +89,14 @@ class MpaReceiver {
 
  private:
   Status process_defragged();
+  bool take_taint(std::size_t n);
 
   MpaConfig cfg_;
   UlpduHandler handler_;
   Bytes pending_;    // de-markered bytes not yet consumed as FPDUs
+  // Run-length taint map aligned with pending_ (front of the deque covers
+  // the front of pending_): <byte count, tainted>. Consumed by take_taint.
+  std::deque<std::pair<std::size_t, bool>> taint_runs_;
   u64 pos_ = 0;      // absolute stream position (marker tracking)
   std::size_t marker_seen_ = 0;  // bytes of an in-flight marker consumed
   u64 delivered_ = 0;

@@ -43,6 +43,8 @@ struct Rig {
       : mode_(mode), opts_(opts), fabric_(make_params(opts)) {
     a_ = std::make_unique<host::Host>(fabric_, "sender");
     b_ = std::make_unique<host::Host>(fabric_, "receiver");
+    a_->tcp().set_validate_checksum(opts.tcp_checksum);
+    b_->tcp().set_validate_checksum(opts.tcp_checksum);
     verbs::DeviceConfig dc;
     dc.mpa.use_markers = opts.mpa_markers;
     dc.mpa.use_crc = opts.mpa_crc;

@@ -38,6 +38,9 @@ struct Options {
   bool mpa_markers = true;  // RC framing
   bool mpa_crc = true;
   bool ud_crc = true;
+  /// TCP segment checksum validation on the RC path (NIC offload model).
+  /// Off => corrupted bytes reach the MPA CRC — the paper's CRC ablation.
+  bool tcp_checksum = true;
   std::size_t max_ud_payload = 65'507;  // per-datagram budget (MTU ablation)
   TimeNs ud_message_timeout = 20 * kMillisecond;
   /// RD-layer tuning for the kRd* modes (adaptive vs fixed RTO ablations).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/crc32.hpp"
 #include "common/log.hpp"
 
 namespace dgiwarp::rd {
@@ -23,20 +24,58 @@ u32 cum_to_wire(u64 cum) {
 // Byte offset of the cumulative-ack field inside the RD header
 // (type u8 + seq u64), patched in place on every (re)transmission.
 constexpr std::size_t kCumOffset = 9;
+// Byte offset of the packet CRC32 (after the cumulative ack), recomputed on
+// every (re)transmission because the piggybacked cum changes.
+constexpr std::size_t kCrcOffset = 13;
+
+void patch_u32(Bytes& wire, std::size_t at, u32 v) {
+  for (int i = 0; i < 4; ++i)
+    wire[at + static_cast<std::size_t>(i)] = static_cast<u8>(v >> (24 - 8 * i));
+}
 
 void patch_cum(Bytes& wire, u64 cum) {
-  const u32 v = cum_to_wire(cum);
-  for (int i = 0; i < 4; ++i)
-    wire[kCumOffset + static_cast<std::size_t>(i)] =
-        static_cast<u8>(v >> (24 - 8 * i));
+  patch_u32(wire, kCumOffset, cum_to_wire(cum));
+}
+
+// CRC32 over the whole packet with the CRC field itself as zero.
+u32 packet_crc(ConstByteSpan wire) {
+  static constexpr u8 kZeros[4] = {0, 0, 0, 0};
+  Crc32 crc;
+  crc.update(wire.first(kCrcOffset));
+  crc.update(ConstByteSpan{kZeros, 4});
+  crc.update(wire.subspan(kCrcOffset + 4));
+  return crc.final();
+}
+
+void patch_crc(Bytes& wire, bool enabled) {
+  patch_u32(wire, kCrcOffset, enabled ? packet_crc(ConstByteSpan{wire}) : 0);
 }
 }  // namespace
+
+Result<ReliableDatagram::PacketView> ReliableDatagram::parse_packet(
+    ConstByteSpan wire, bool check_crc) {
+  if (wire.size() < kHeaderBytes)
+    return Status(Errc::kProtocolError, "short RD packet");
+  WireReader r(wire);
+  PacketView p;
+  p.type = r.u8be();
+  p.seq = r.u64be();
+  p.cum = r.u32be();
+  const u32 crc = r.u32be();
+  if (p.type != kTypeData && p.type != kTypeAck && p.type != kTypeGapSkip)
+    return Status(Errc::kProtocolError, "unknown RD packet type");
+  if (check_crc && crc != packet_crc(wire))
+    return Status(Errc::kCrcError, "RD packet CRC mismatch");
+  p.body = r.rest();
+  return p;
+}
 
 ReliableDatagram::ReliableDatagram(host::HostCtx& ctx,
                                    host::UdpSocket& socket, RdConfig config)
     : ctx_(ctx), socket_(socket), config_(config) {
-  socket_.set_handler(
-      [this](Endpoint src, Bytes data) { on_raw(src, std::move(data)); });
+  socket_.set_handler([this](Endpoint src, Bytes data, bool tainted) {
+    on_raw(src, std::move(data), tainted);
+  });
 
   auto& reg = ctx_.sim.telemetry();
   stats_.data_tx.bind(reg.counter("rd.data_tx"));
@@ -50,6 +89,10 @@ ReliableDatagram::ReliableDatagram(host::HostCtx& ctx,
   stats_.gap_skips_tx.bind(reg.counter("rd.gap_skips_tx"));
   stats_.rx_gaps.bind(reg.counter("rd.rx_gaps"));
   stats_.rx_ooo_drops.bind(reg.counter("rd.rx_ooo_drops"));
+  stats_.crc_drops.bind(reg.counter("rd.crc_drops"));
+  stats_.crc_escapes.bind(reg.counter("rd.crc_escapes"));
+  stats_.parse_rejects.bind(reg.counter("rd.parse_rejects"));
+  stats_.wild_rejects.bind(reg.counter("rd.wild_rejects"));
 }
 
 ReliableDatagram::~ReliableDatagram() {
@@ -73,6 +116,7 @@ Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
   w.u8be(kTypeData);
   w.u64be(seq);
   w.u32be(0);  // cumulative-ack piggyback; patched at transmit time
+  w.u32be(0);  // CRC32; patched at transmit time (depends on the cum field)
   const std::size_t at = wire.size();
   wire.resize(at + payload.total_size());
   payload.copy_out(0, ByteSpan{wire}.subspan(at));
@@ -98,6 +142,11 @@ void ReliableDatagram::transmit(Endpoint dst, u64 seq, PeerTx& tx) {
         static_cast<u64>(it->second.retries));
   }
   patch_cum(it->second.wire, cum_for(dst));
+  if (config_.crc)
+    ctx_.cpu.charge(static_cast<TimeNs>(
+        ctx_.costs.crc_ns_per_byte *
+        static_cast<double>(it->second.wire.size())));
+  patch_crc(it->second.wire, config_.crc);
   it->second.sent_at = ctx_.sim.now();
   (void)socket_.send_to(dst, ConstByteSpan{it->second.wire});
   arm_timer(dst, seq);
@@ -244,6 +293,8 @@ void ReliableDatagram::send_ack(Endpoint dst, u64 seq) {
   w.u8be(kTypeAck);
   w.u64be(seq);
   w.u32be(cum_to_wire(cum_for(dst)));
+  w.u32be(0);
+  patch_crc(wire, config_.crc);
   ++stats_.acks_tx;
   (void)socket_.send_to(dst, ConstByteSpan{wire});
 }
@@ -261,6 +312,8 @@ void ReliableDatagram::send_gap_skip(Endpoint dst, PeerTx& tx) {
   w.u8be(kTypeGapSkip);
   w.u64be(base);
   w.u32be(cum_to_wire(cum_for(dst)));
+  w.u32be(0);
+  patch_crc(wire, config_.crc);
   ++stats_.gap_skips_tx;
   ctx_.sim.telemetry().trace().record(telemetry::TraceKind::kRdGapSkip, base,
                                       static_cast<u64>(dst.port));
@@ -276,12 +329,33 @@ void ReliableDatagram::pump_queue(Endpoint dst, PeerTx& tx) {
   }
 }
 
-void ReliableDatagram::on_raw(Endpoint src, Bytes data) {
-  WireReader r(ConstByteSpan{data});
-  const u8 type = r.u8be();
-  const u64 seq = r.u64be();
-  const u64 cum = r.u32be();
-  if (!r.ok()) return;
+void ReliableDatagram::on_raw(Endpoint src, Bytes data, bool tainted) {
+  auto parsed = parse_packet(ConstByteSpan{data}, config_.crc);
+  if (!parsed.ok()) {
+    if (parsed.status().code() == Errc::kCrcError) {
+      // Validate-and-drop: no ACK is sent, so the sender's RTO (or dup-ACK
+      // fast retransmit) resends the damaged packet — the same machinery
+      // that recovers loss recovers corruption.
+      ++stats_.crc_drops;
+      if (config_.crc)
+        ctx_.cpu.charge(static_cast<TimeNs>(
+            ctx_.costs.crc_ns_per_byte * static_cast<double>(data.size())));
+    } else {
+      ++stats_.parse_rejects;
+    }
+    return;
+  }
+  if (config_.crc)
+    ctx_.cpu.charge(static_cast<TimeNs>(
+        ctx_.costs.crc_ns_per_byte * static_cast<double>(data.size())));
+  // Taint accepted with no CRC vouching for the packet: with CRC off every
+  // corrupted packet lands here. With CRC on a passing check proves the
+  // packet bytes are intact, so the taint is not an escape.
+  if (tainted && !config_.crc) ++stats_.crc_escapes;
+
+  const u8 type = parsed->type;
+  const u64 seq = parsed->seq;
+  const u64 cum = parsed->cum;
 
   switch (type) {
     case kTypeAck:
@@ -305,19 +379,31 @@ void ReliableDatagram::on_raw(Endpoint src, Bytes data) {
         }
         pump_queue(src, tx);
       }
-      on_data(src, seq, r.rest());
+      on_data(src, seq, parsed->body, tainted);
       return;
     }
     default:
-      return;
+      return;  // unreachable: parse_packet rejects unknown types
   }
 }
 
-void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body) {
+void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body,
+                               bool tainted) {
   ctx_.cpu.charge(ctx_.costs.rd_rx_fixed);
   ++stats_.data_rx;
 
   PeerRx& rx = rx_[src];
+
+  // Horizon check: a sequence astronomically ahead of the receive frontier
+  // cannot come from a well-behaved sender — the send window is far smaller
+  // than the dedup window. With the RD CRC off a corrupted header yields
+  // exactly such a seq, and honouring it would poison highest_seen/cum_seen
+  // and wedge the window shut. Refuse it outright and send no ACK.
+  const u64 frontier = config_.ordered ? rx.next_expected : rx.cum_seen + 1;
+  if (seq > frontier && seq - frontier > config_.dedup_window) {
+    ++stats_.wild_rejects;
+    return;
+  }
 
   if (!config_.ordered) {
     const bool dup = seen_test_set(rx, seq);
@@ -329,7 +415,7 @@ void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body) {
     advance_cum_seen(rx);
     if (rx.highest_seen > rx.cum_seen) arm_gap_timer(src);
     send_ack(src, seq);  // cum reflects this datagram
-    if (handler_) handler_(src, Bytes(body.begin(), body.end()));
+    if (handler_) handler_(src, Bytes(body.begin(), body.end()), tainted);
     return;
   }
 
@@ -347,15 +433,16 @@ void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body) {
       ++stats_.rx_ooo_drops;
       return;
     }
-    auto [it, inserted] = rx.ooo.emplace(seq, Bytes(body.begin(), body.end()));
-    if (inserted) account_ooo(rx, static_cast<i64>(it->second.size()));
+    auto [it, inserted] =
+        rx.ooo.emplace(seq, OooDgram{Bytes(body.begin(), body.end()), tainted});
+    if (inserted) account_ooo(rx, static_cast<i64>(it->second.data.size()));
     arm_gap_timer(src);
     send_ack(src, seq);
     return;
   }
 
   ++rx.next_expected;
-  if (handler_) handler_(src, Bytes(body.begin(), body.end()));
+  if (handler_) handler_(src, Bytes(body.begin(), body.end()), tainted);
   deliver_in_order(src, rx);
   send_ack(src, seq);  // cum covers everything the drain just delivered
 }
@@ -364,11 +451,12 @@ void ReliableDatagram::deliver_in_order(Endpoint src, PeerRx& rx) {
   while (true) {
     auto it = rx.ooo.find(rx.next_expected);
     if (it == rx.ooo.end()) break;
-    Bytes payload = std::move(it->second);
+    Bytes payload = std::move(it->second.data);
+    const bool tainted = it->second.tainted;
     account_ooo(rx, -static_cast<i64>(payload.size()));
     rx.ooo.erase(it);
     ++rx.next_expected;
-    if (handler_) handler_(src, std::move(payload));
+    if (handler_) handler_(src, std::move(payload), tainted);
   }
 }
 
@@ -379,6 +467,16 @@ void ReliableDatagram::on_gap_skip(Endpoint src, u64 base) {
 }
 
 void ReliableDatagram::skip_to(Endpoint src, PeerRx& rx, u64 base) {
+  // Same horizon discipline as on_data: a skip base wildly beyond the
+  // frontier is a corrupted (or hostile) GAP-SKIP. Honouring it would walk
+  // an astronomically long gap one sequence at a time and advance cum_seen
+  // past every legitimate retransmission still in flight.
+  const u64 frontier = config_.ordered ? rx.next_expected : rx.cum_seen + 1;
+  if (base > frontier && base - frontier > config_.dedup_window) {
+    ++stats_.wild_rejects;
+    return;
+  }
+
   u64 missing = 0;
   u64 first_missing = 0;
 
@@ -387,10 +485,11 @@ void ReliableDatagram::skip_to(Endpoint src, PeerRx& rx, u64 base) {
     while (rx.next_expected < base) {
       auto it = rx.ooo.find(rx.next_expected);
       if (it != rx.ooo.end()) {
-        Bytes payload = std::move(it->second);
+        Bytes payload = std::move(it->second.data);
+        const bool tainted = it->second.tainted;
         account_ooo(rx, -static_cast<i64>(payload.size()));
         rx.ooo.erase(it);
-        if (handler_) handler_(src, std::move(payload));
+        if (handler_) handler_(src, std::move(payload), tainted);
       } else {
         if (missing == 0) first_missing = rx.next_expected;
         ++missing;

@@ -49,6 +49,12 @@ struct RdConfig {
   std::size_t rx_ooo_limit = 256;   // ordered-mode reorder buffer cap (dgrams)
   std::size_t dedup_window = 4096;  // unordered-mode dedupe bitmap (seqs)
   TimeNs gap_timeout = kSecond;     // receiver-side stall fallback (0 = off)
+  // Per-packet CRC32 over header+payload. A corrupted packet is silently
+  // dropped (no ACK), so the normal RTO/fast-retransmit machinery recovers
+  // it; without this, a damaged header could fake an ACK and retire data
+  // that was never delivered. Off => corruption passes through (measured as
+  // rd.crc_escapes via the simulator's taint oracle).
+  bool crc = true;
 };
 
 /// Per-endpoint RD counters. Each field also feeds the owning Simulation's
@@ -65,13 +71,20 @@ struct RdStats {
   telemetry::Metric gap_skips_tx;  // GAP-SKIP advertisements sent
   telemetry::Metric rx_gaps;    // sequences the receiver skipped (holes)
   telemetry::Metric rx_ooo_drops;  // datagrams refused by the reorder cap
+  telemetry::Metric crc_drops;     // packets failing the RD CRC (no ACK sent)
+  telemetry::Metric crc_escapes;   // corrupted packets accepted (CRC off)
+  telemetry::Metric parse_rejects;  // malformed packets (bad type / short)
+  telemetry::Metric wild_rejects;   // seqs/skips beyond the plausible horizon
 };
 
 /// Wraps a UdpSocket with reliability. The socket's receive handler is
 /// taken over by this layer; consumers subscribe via on_datagram().
 class ReliableDatagram {
  public:
-  using DatagramHandler = std::function<void(Endpoint, Bytes)>;
+  /// (peer, datagram, corruption taint). `tainted` is the simulator's
+  /// oracle (see host::IpLayer::ProtocolHandler); with RD CRC on it can only
+  /// be true for a CRC32 collision.
+  using DatagramHandler = std::function<void(Endpoint, Bytes, bool tainted)>;
   /// Notified when a datagram is abandoned after max_retries (sender side).
   using FailureHandler = std::function<void(Endpoint, u64 seq)>;
   /// Notified when the receiver skips a hole: `first_seq` is the first
@@ -103,7 +116,22 @@ class ReliableDatagram {
 
   const RdStats& stats() const { return stats_; }
   // type(u8) + seq(u64) + cumulative ack(u32, truncated; see reliable.cpp)
-  static constexpr std::size_t kHeaderBytes = 13;
+  // + crc32(u32) over the whole packet with the CRC field zeroed.
+  static constexpr std::size_t kHeaderBytes = 17;
+
+  /// Parsed view of one RD packet (fields + payload span into the wire
+  /// buffer). Exposed for the wire fuzzer; on_raw goes through it too.
+  struct PacketView {
+    u8 type = 0;
+    u64 seq = 0;
+    u64 cum = 0;
+    ConstByteSpan body;
+  };
+
+  /// Parse and (when `check_crc`) CRC-validate one RD packet. Returns
+  /// kCrcError on checksum mismatch, kProtocolError on short input or an
+  /// unknown packet type; never reads past `wire`.
+  static Result<PacketView> parse_packet(ConstByteSpan wire, bool check_crc);
 
  private:
   struct Pending {
@@ -124,9 +152,13 @@ class ReliableDatagram {
     u64 last_cum_ack = 0;
     int dup_acks = 0;
   };
+  struct OooDgram {
+    Bytes data;
+    bool tainted = false;
+  };
   struct PeerRx {
     u64 next_expected = 1;   // ordered mode cursor
-    std::map<u64, Bytes> ooo;  // ordered mode reorder buffer (bounded)
+    std::map<u64, OooDgram> ooo;  // ordered mode reorder buffer (bounded)
     u64 highest_seen = 0;
     // Unordered mode: cumulative watermark + anti-replay bitmap. A sequence
     // is a duplicate if <= cum_seen - implicitly, or its window bit is set;
@@ -139,9 +171,9 @@ class ReliableDatagram {
     bool gap_armed = false;
   };
 
-  void on_raw(Endpoint src, Bytes data);
+  void on_raw(Endpoint src, Bytes data, bool tainted);
   void on_ack(Endpoint src, u64 seq, u64 cum);
-  void on_data(Endpoint src, u64 seq, ConstByteSpan body);
+  void on_data(Endpoint src, u64 seq, ConstByteSpan body, bool tainted);
   void on_gap_skip(Endpoint src, u64 base);
   void transmit(Endpoint dst, u64 seq, PeerTx& tx);
   void arm_timer(Endpoint dst, u64 seq);

@@ -21,6 +21,9 @@ Result<TerminateMessage> TerminateMessage::parse(ConstByteSpan data) {
   t.context = r.u32be();
   if (!r.ok()) return Status(Errc::kProtocolError, "short terminate message");
   if (layer > 2) return Status(Errc::kProtocolError, "bad terminate layer");
+  if (t.error_code < static_cast<u8>(TermError::kInvalidStag) ||
+      t.error_code > static_cast<u8>(TermError::kBufferTooSmall))
+    return Status(Errc::kProtocolError, "bad terminate error code");
   t.layer = static_cast<TermLayer>(layer);
   return t;
 }

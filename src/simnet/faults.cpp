@@ -1,10 +1,11 @@
 #include "simnet/faults.hpp"
 
-// Loss models are header-only today; this TU anchors the vtable.
+// Fault models are header-only today; this TU anchors the vtables.
 
 namespace dgiwarp::sim {
 
-// Key function anchor.
+// Key function anchors.
 LossModel::~LossModel() = default;
+CorruptionModel::~CorruptionModel() = default;
 
 }  // namespace dgiwarp::sim

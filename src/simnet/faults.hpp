@@ -6,12 +6,16 @@
 // models an interface that goes dark for whole windows of virtual time.
 // Beyond loss, a Faults config can also reorder, jitter and *duplicate*
 // frames — the adversarial inputs the RD layer's recovery is tested under.
+// The CorruptionModel family (bit errors, burst corruption, targeted
+// strikes, truncation) damages frames instead of dropping them, which is
+// what the stack's CRC32 / checksum machinery is there to catch.
 #pragma once
 
 #include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -123,9 +127,155 @@ class LinkFlapLoss final : public LossModel {
   TimeNs phase_;
 };
 
+/// Damages frame payloads in flight. Unlike LossModel the frame survives —
+/// possibly with flipped bits or a missing tail — which is exactly what the
+/// stack's CRCs / checksums exist to catch. `corrupt` mutates `payload` in
+/// place and returns true if it changed anything; Link then marks the frame
+/// corrupted so upper layers can account for silent escapes when CRC is off.
+class CorruptionModel {
+ public:
+  virtual ~CorruptionModel();
+  virtual bool corrupt(Rng& rng, TimeNs now, Bytes& payload) = 0;
+};
+
+/// Never corrupts (default).
+class NoCorruption final : public CorruptionModel {
+ public:
+  bool corrupt(Rng&, TimeNs, Bytes&) override { return false; }
+};
+
+/// Independent per-byte bit errors: each payload byte is hit with
+/// probability `byte_error_rate`; a hit flips one random bit. This is the
+/// classic memoryless BER channel.
+class BernoulliCorruption final : public CorruptionModel {
+ public:
+  explicit BernoulliCorruption(double byte_error_rate)
+      : rate_(byte_error_rate) {}
+
+  bool corrupt(Rng& rng, TimeNs, Bytes& payload) override {
+    if (rate_ <= 0.0) return false;
+    bool changed = false;
+    for (auto& b : payload) {
+      if (rng.chance(rate_)) {
+        b ^= static_cast<u8>(1u << rng.below(8));
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+ private:
+  double rate_;
+};
+
+/// Two-state Gilbert-Elliott burst corruption: the channel moves between a
+/// Good and a Bad state once per frame, and bytes are damaged at the state's
+/// BER. Models interference bursts / marginal optics where whole frames are
+/// peppered rather than single bits flipping in isolation.
+class GilbertElliottCorruption final : public CorruptionModel {
+ public:
+  GilbertElliottCorruption(double p_g2b, double p_b2g, double rate_good,
+                           double rate_bad)
+      : p_g2b_(p_g2b), p_b2g_(p_b2g), rate_good_(rate_good),
+        rate_bad_(rate_bad) {}
+
+  bool corrupt(Rng& rng, TimeNs, Bytes& payload) override {
+    if (bad_) {
+      if (rng.chance(p_b2g_)) bad_ = false;
+    } else {
+      if (rng.chance(p_g2b_)) bad_ = true;
+    }
+    const double rate = bad_ ? rate_bad_ : rate_good_;
+    if (rate <= 0.0) return false;
+    bool changed = false;
+    for (auto& b : payload) {
+      if (rng.chance(rate)) {
+        b ^= static_cast<u8>(1u << rng.below(8));
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+ private:
+  double p_g2b_, p_b2g_, rate_good_, rate_bad_;
+  bool bad_ = false;
+};
+
+/// One deterministic strike: damage frame `frame` (1-indexed ordinal through
+/// this model) at byte `offset`. `xor_mask != 0` flips those bits;
+/// `xor_mask == 0` truncates the payload at `offset` instead. Offsets past
+/// the end clamp (modulo for flips, min for truncation) so a target always
+/// lands somewhere observable.
+struct CorruptTarget {
+  u64 frame = 0;
+  std::size_t offset = 0;
+  u8 xor_mask = 0xFF;
+};
+
+/// Corrupts exactly the frames named by `targets` — deterministic bit
+/// surgery for unit tests ("flip byte 7 of frame 3"). Same sorted-cursor
+/// scheme as TargetedLoss; multiple targets may name the same frame.
+class TargetedCorruption final : public CorruptionModel {
+ public:
+  explicit TargetedCorruption(std::vector<CorruptTarget> targets)
+      : targets_(std::move(targets)) {
+    std::sort(targets_.begin(), targets_.end(),
+              [](const CorruptTarget& a, const CorruptTarget& b) {
+                return a.frame < b.frame;
+              });
+  }
+
+  bool corrupt(Rng&, TimeNs, Bytes& payload) override {
+    ++count_;
+    while (cursor_ < targets_.size() && targets_[cursor_].frame < count_)
+      ++cursor_;
+    bool changed = false;
+    while (cursor_ < targets_.size() && targets_[cursor_].frame == count_) {
+      const CorruptTarget& t = targets_[cursor_++];
+      if (payload.empty()) continue;
+      if (t.xor_mask == 0) {
+        const std::size_t keep = std::min(t.offset, payload.size());
+        if (keep < payload.size()) {
+          payload.resize(keep);
+          changed = true;
+        }
+      } else {
+        payload[t.offset % payload.size()] ^= t.xor_mask;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+ private:
+  std::vector<CorruptTarget> targets_;
+  std::size_t cursor_ = 0;
+  u64 count_ = 0;
+};
+
+/// Truncation channel: with probability `rate` the frame loses a random
+/// suffix (a cut-through switch forwarding a frame whose tail died on the
+/// wire). The surviving prefix is uniform in [0, len).
+class TruncationCorruption final : public CorruptionModel {
+ public:
+  explicit TruncationCorruption(double rate) : rate_(rate) {}
+
+  bool corrupt(Rng& rng, TimeNs, Bytes& payload) override {
+    if (rate_ <= 0.0 || payload.empty()) return false;
+    if (!rng.chance(rate_)) return false;
+    payload.resize(rng.below(payload.size()));
+    return true;
+  }
+
+ private:
+  double rate_;
+};
+
 /// Full fault configuration for one link direction.
 struct Faults {
   std::unique_ptr<LossModel> loss;  // null => no loss
+  std::unique_ptr<CorruptionModel> corruption;  // null => no corruption
   double reorder_rate = 0.0;        // probability a frame is delayed extra
   TimeNs reorder_delay = 0;         // extra delay applied to reordered frames
   TimeNs jitter = 0;                // uniform [0, jitter) added per frame
@@ -147,6 +297,21 @@ struct Faults {
   static Faults flapping(TimeNs period, TimeNs down, TimeNs phase = 0) {
     Faults f;
     f.loss = std::make_unique<LinkFlapLoss>(period, down, phase);
+    return f;
+  }
+  static Faults bit_errors(double byte_error_rate) {
+    Faults f;
+    f.corruption = std::make_unique<BernoulliCorruption>(byte_error_rate);
+    return f;
+  }
+  static Faults truncating(double rate) {
+    Faults f;
+    f.corruption = std::make_unique<TruncationCorruption>(rate);
+    return f;
+  }
+  static Faults targeted_corruption(std::vector<CorruptTarget> targets) {
+    Faults f;
+    f.corruption = std::make_unique<TargetedCorruption>(std::move(targets));
     return f;
   }
 };

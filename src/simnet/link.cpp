@@ -15,6 +15,7 @@ Link::Link(Simulation& sim, Rng& rng, LinkParams params, std::string name)
   stats_.bytes_delivered.bind(reg.counter("simnet.link.bytes_delivered"));
   stats_.frames_queued.bind(reg.counter("simnet.link.frames_queued"));
   stats_.frames_duplicated.bind(reg.counter("simnet.link.frames_duplicated"));
+  stats_.frames_corrupted.bind(reg.counter("simnet.link.frames_corrupted"));
 }
 
 TimeNs Link::serialization_delay(std::size_t wire_bytes) const {
@@ -43,6 +44,19 @@ void Link::transmit(Frame f) {
     DGI_TRACE("link", "%s dropped frame id=%llu (%zu B)", name_.c_str(),
               static_cast<unsigned long long>(f.id), f.payload.size());
     return;  // the wire time is still consumed; the bits just die
+  }
+
+  // Corruption happens after the loss decision: a dropped frame never
+  // consults the corruption model, and serialization time was charged for
+  // the original length even if the model truncates the tail.
+  if (faults_.corruption && !f.payload.empty() &&
+      faults_.corruption->corrupt(rng_, sim_.now(), f.payload)) {
+    f.corrupted = true;
+    ++stats_.frames_corrupted;
+    reg.trace().record(telemetry::TraceKind::kLinkCorrupt, f.id,
+                       f.wire_bytes());
+    DGI_TRACE("link", "%s corrupted frame id=%llu (%zu B)", name_.c_str(),
+              static_cast<unsigned long long>(f.id), f.payload.size());
   }
 
   TimeNs arrive = tx_done + params_.propagation;

@@ -26,6 +26,7 @@ struct LinkStats {
   telemetry::Metric bytes_delivered;
   telemetry::Metric frames_queued;  // frames that waited for the wire
   telemetry::Metric frames_duplicated;  // extra copies injected by faults
+  telemetry::Metric frames_corrupted;   // payloads damaged in flight
 };
 
 class Link {

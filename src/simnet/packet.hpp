@@ -22,6 +22,12 @@ struct Frame {
   u16 proto = 0;  // ethertype-like demux key (kProtoIpv4 in practice)
   Bytes payload;
   u64 id = 0;  // unique id for tracing / loss diagnostics
+  // Set by Link when a CorruptionModel damaged the payload in flight. The
+  // taint rides the frame through the switch and up the receive stack so
+  // layers can count silent escapes when their CRC/checksum is disabled;
+  // real NICs obviously have no such oracle — it exists purely for
+  // measurement and is never consulted by protocol logic.
+  bool corrupted = false;
 
   std::size_t wire_bytes() const { return payload.size() + kEthernetOverhead; }
 };

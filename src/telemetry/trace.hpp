@@ -22,6 +22,7 @@ namespace dgiwarp::telemetry {
 /// correlating in a post-mortem; operands a/b are kind-specific.
 enum class TraceKind : u8 {
   kLinkDrop = 0,          // a = frame id, b = wire bytes
+  kLinkCorrupt,           // a = frame id, b = wire bytes (post-damage)
   kLinkDeliver,           // a = frame id, b = payload bytes
   kIpReassemblyExpired,   // a = ident, b = bytes received
   kTcpRetransmit,         // a = sequence, b = payload bytes

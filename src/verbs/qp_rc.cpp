@@ -41,11 +41,15 @@ RcQueuePair::RcQueuePair(Device& dev, const RcQpAttr& attr)
                 dev.host().costs().rc_qp_bytes),
       mpa_tx_(dev.config().mpa),
       mpa_rx_(dev.config().mpa) {
-  mpa_rx_.on_ulpdu([this](Bytes ulpdu) { on_ulpdu(std::move(ulpdu)); });
+  mpa_rx_.on_ulpdu([this](Bytes ulpdu, bool tainted) {
+    on_ulpdu(std::move(ulpdu), tainted);
+  });
   auto& reg = dev_.host().sim().telemetry();
   stats_.segments_tx.bind(reg.counter("verbs.rc.segments_tx"));
   stats_.segments_rx.bind(reg.counter("verbs.rc.segments_rx"));
   stats_.fpdu_crc_failures.bind(reg.counter("verbs.rc.fpdu_crc_failures"));
+  stats_.crc_escapes.bind(reg.counter("verbs.rc.crc_escapes"));
+  stats_.parse_rejects.bind(reg.counter("verbs.rc.parse_rejects"));
   stats_.terminates_rx.bind(reg.counter("verbs.rc.terminates_rx"));
   wr_log_.bind_telemetry(reg);
 }
@@ -101,8 +105,8 @@ void RcQueuePair::attach_socket(host::TcpSocket::Ptr sock) {
   sock_ = std::move(sock);
   sock_->set_nodelay(true);  // iWARP requirement: FPDUs must not be delayed
   auto weak = weak_from_this();
-  sock_->on_data([weak](ConstByteSpan data) {
-    if (auto self = weak.lock()) self->on_tcp_data(data);
+  sock_->on_data([weak](ConstByteSpan data, bool tainted) {
+    if (auto self = weak.lock()) self->on_tcp_data(data, tainted);
   });
   sock_->on_writable([weak] {
     if (auto self = weak.lock()) self->drain_tx();
@@ -115,7 +119,7 @@ void RcQueuePair::attach_socket(host::TcpSocket::Ptr sock) {
   });
 }
 
-void RcQueuePair::on_tcp_data(ConstByteSpan stream) {
+void RcQueuePair::on_tcp_data(ConstByteSpan stream, bool tainted) {
   if (!handshake_done_) {
     handshake_buf_.insert(handshake_buf_.end(), stream.begin(), stream.end());
     if (handshake_buf_.size() < kHandshakeBytes) return;
@@ -132,7 +136,7 @@ void RcQueuePair::on_tcp_data(ConstByteSpan stream) {
     Bytes rest(handshake_buf_.begin() + kHandshakeBytes, handshake_buf_.end());
     handshake_buf_.clear();
     on_handshake_complete();
-    if (!rest.empty()) on_tcp_data(ConstByteSpan{rest});
+    if (!rest.empty()) on_tcp_data(ConstByteSpan{rest}, tainted);
     return;
   }
 
@@ -147,9 +151,10 @@ void RcQueuePair::on_tcp_data(ConstByteSpan stream) {
                                 static_cast<double>(stream.size()));
   dev_.host().cpu().charge(cost);
 
-  const Status st = mpa_rx_.consume(stream);
+  const Status st = mpa_rx_.consume(stream, tainted);
   if (!st.ok()) {
     ++stats_.fpdu_crc_failures;
+    send_terminate(rdmap::TermError::kCatastrophic, 0);
     fatal(st);  // MPA stream errors are fatal on RC (paper §IV.B item 2)
   }
 }
@@ -312,16 +317,22 @@ void RcQueuePair::drain_tx() {
   }
 }
 
-void RcQueuePair::on_ulpdu(Bytes ulpdu) {
+void RcQueuePair::on_ulpdu(Bytes ulpdu, bool tainted) {
   auto& c = dev_.host().costs();
   dev_.host().cpu().charge(c.ddp_segment_fixed + c.mpa_frame_fixed);
 
   auto parsed = ddp::parse_segment(ConstByteSpan{ulpdu}, /*with_crc=*/false);
   if (!parsed.ok()) {
+    ++stats_.parse_rejects;
+    send_terminate(rdmap::TermError::kCatastrophic, 0);
     fatal(parsed.status());
     return;
   }
   ++stats_.segments_rx;
+  // Accepted despite riding a corrupted frame with no CRC vouching for the
+  // bytes: a silent corruption escape. A passing MPA CRC proves the FPDU
+  // was intact, so with the CRC on this does not count.
+  if (tainted && !dev_.config().mpa.use_crc) ++stats_.crc_escapes;
   const ddp::ParsedSegment& seg = *parsed;
   auto opr = rdmap::parse_opcode(seg.header.opcode());
   if (!opr.ok()) {
@@ -508,6 +519,9 @@ void RcQueuePair::respond_read(const ddp::ParsedSegment& seg) {
 }
 
 void RcQueuePair::send_terminate(rdmap::TermError err, u32 context) {
+  // Never originate a Terminate from Error state: a corrupted Terminate
+  // from the peer must not trigger a counter-Terminate (terminate loop).
+  if (state_ == QpState::kError) return;
   if (!handshake_done_ || !sock_) return;
   rdmap::TerminateMessage t;
   t.layer = rdmap::TermLayer::kDdp;
@@ -530,9 +544,18 @@ void RcQueuePair::fatal(const Status& why) {
   // Guard against self-destruction: self_hold_ may be the last reference
   // (passive QP failing before the app takes ownership).
   auto guard = shared_from_this();
+  if (sock_ && sock_->state() != host::TcpSocket::State::kClosed) {
+    if (handshake_done_) {
+      // A Terminate queued just before this fatal() must actually reach the
+      // peer (RDMAP teardown): flush it into the LLP and close gracefully —
+      // an abort would RST and discard the send buffer.
+      drain_tx();
+      sock_->close();
+    } else {
+      sock_->abort();
+    }
+  }
   set_error(why);
-  if (sock_ && sock_->state() != host::TcpSocket::State::kClosed)
-    sock_->abort();
   self_hold_.reset();
 }
 

@@ -24,6 +24,8 @@ struct RcQpStats {
   telemetry::Metric segments_tx;
   telemetry::Metric segments_rx;
   telemetry::Metric fpdu_crc_failures;
+  telemetry::Metric crc_escapes;   // corrupted ULPDUs accepted (taint oracle)
+  telemetry::Metric parse_rejects; // malformed DDP segments off the stream
   telemetry::Metric terminates_rx;
 };
 
@@ -58,9 +60,9 @@ class RcQueuePair final : public QueuePair,
   void start_passive(host::TcpSocket::Ptr sock,
                      std::function<void(std::shared_ptr<RcQueuePair>)> ready);
   void attach_socket(host::TcpSocket::Ptr sock);
-  void on_tcp_data(ConstByteSpan stream);
+  void on_tcp_data(ConstByteSpan stream, bool tainted);
   void on_handshake_complete();
-  void on_ulpdu(Bytes ulpdu);
+  void on_ulpdu(Bytes ulpdu, bool tainted);
   void handle_untagged(const ddp::ParsedSegment& seg, rdmap::Opcode op);
   void handle_tagged(const ddp::ParsedSegment& seg, rdmap::Opcode op);
   void respond_read(const ddp::ParsedSegment& seg);

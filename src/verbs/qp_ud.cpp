@@ -41,6 +41,8 @@ UdQueuePair::UdQueuePair(Device& dev, const UdQpAttr& attr,
   stats_.segments_tx.bind(reg.counter("verbs.ud.segments_tx"));
   stats_.segments_rx.bind(reg.counter("verbs.ud.segments_rx"));
   stats_.crc_drops.bind(reg.counter("verbs.ud.crc_drops"));
+  stats_.crc_escapes.bind(reg.counter("verbs.ud.crc_escapes"));
+  stats_.parse_rejects.bind(reg.counter("verbs.ud.parse_rejects"));
   stats_.no_buffer_drops.bind(reg.counter("verbs.ud.no_buffer_drops"));
   stats_.expired_messages.bind(reg.counter("verbs.ud.expired_messages"));
   stats_.expired_records.bind(reg.counter("verbs.ud.expired_records"));
@@ -54,8 +56,8 @@ UdQueuePair::UdQueuePair(Device& dev, const UdQpAttr& attr,
   if (attr.reliable) {
     rd_ = std::make_unique<rd::ReliableDatagram>(dev.host().ctx(), *socket_,
                                                  dev.config().rd);
-    rd_->on_datagram([this](host::Endpoint src, Bytes data) {
-      on_datagram(src, std::move(data));
+    rd_->on_datagram([this](host::Endpoint src, Bytes data, bool tainted) {
+      on_datagram(src, std::move(data), tainted);
     });
     rd_->on_failure([this](host::Endpoint, u64) { ++stats_.rd_failures; });
     // Receiver-side holes (peer gave up / gap timeout): lost datagrams are
@@ -65,8 +67,8 @@ UdQueuePair::UdQueuePair(Device& dev, const UdQpAttr& attr,
       stats_.rd_rx_gaps += count;
     });
   } else {
-    socket_->set_handler([this](host::Endpoint src, Bytes data) {
-      on_datagram(src, std::move(data));
+    socket_->set_handler([this](host::Endpoint src, Bytes data, bool tainted) {
+      on_datagram(src, std::move(data), tainted);
     });
   }
   state_ = QpState::kRts;  // datagram QPs need no connection setup
@@ -190,7 +192,7 @@ Status UdQueuePair::post_send(const SendWr& wr) {
   return Status::Ok();
 }
 
-void UdQueuePair::on_datagram(host::Endpoint src, Bytes data) {
+void UdQueuePair::on_datagram(host::Endpoint src, Bytes data, bool tainted) {
   auto& c = dev_.host().costs();
   TimeNs cost = c.ddp_segment_fixed;
   if (dev_.config().ud_crc)
@@ -200,12 +202,20 @@ void UdQueuePair::on_datagram(host::Endpoint src, Bytes data) {
 
   auto parsed = ddp::parse_segment(ConstByteSpan{data}, dev_.config().ud_crc);
   if (!parsed.ok()) {
-    if (parsed.code() == Errc::kCrcError) ++stats_.crc_drops;
+    if (parsed.code() == Errc::kCrcError)
+      ++stats_.crc_drops;
+    else
+      ++stats_.parse_rejects;
     DGI_DEBUG("ud_qp", "segment dropped: %s",
               parsed.status().to_string().c_str());
     return;  // reported, QP stays up (paper §IV.B item 2)
   }
   ++stats_.segments_rx;
+  // Accepted despite riding a corrupted frame, with no CRC to vouch for the
+  // payload: the silent escape the corruption campaign measures. With the
+  // CRC on, a passing check proves the segment bytes are intact (the damage
+  // hit ignorable header bytes en route), so it is not an escape.
+  if (tainted && !dev_.config().ud_crc) ++stats_.crc_escapes;
   const ddp::ParsedSegment& seg = *parsed;
 
   auto opr = rdmap::parse_opcode(seg.header.opcode());

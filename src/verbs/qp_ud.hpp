@@ -27,6 +27,8 @@ struct UdQpStats {
   telemetry::Metric segments_tx;
   telemetry::Metric segments_rx;
   telemetry::Metric crc_drops;
+  telemetry::Metric crc_escapes;   // corrupted segments accepted (taint oracle)
+  telemetry::Metric parse_rejects; // malformed segments (non-CRC parse failure)
   telemetry::Metric no_buffer_drops;
   telemetry::Metric expired_messages;   // send/recv messages that timed out
   telemetry::Metric expired_records;    // Write-Records whose LAST never arrived
@@ -59,7 +61,7 @@ class UdQueuePair final : public QueuePair,
   friend class Device;
   UdQueuePair(Device& dev, const UdQpAttr& attr, host::UdpSocket* socket);
 
-  void on_datagram(host::Endpoint src, Bytes data);
+  void on_datagram(host::Endpoint src, Bytes data, bool tainted);
   void handle_untagged(host::Endpoint src, const ddp::ParsedSegment& seg,
                        rdmap::Opcode op);
   void handle_write_record(host::Endpoint src, const ddp::ParsedSegment& seg);

@@ -42,6 +42,83 @@ TEST(SipMessage, ParseRejectsGarbage) {
   EXPECT_FALSE(sip::SipMessage::parse(ConstByteSpan{half}).ok());
 }
 
+TEST(SipMessage, ParseRejectsBadContentLength) {
+  // Non-numeric, negative and overflowing Content-Length values must all
+  // come back as a clean protocol error, never an exception or a huge
+  // allocation (regression: std::stoul used to throw here).
+  for (const char* cl : {"banana", "-5", "12a",
+                         "18446744073709551616",  // > 2^64-1
+                         "99999999"}) {           // > datagram size
+    std::string msg = "BYE sip:b SIP/2.0\r\nCall-ID: c\r\nContent-Length: ";
+    msg += cl;
+    msg += "\r\n\r\nbody";
+    const Bytes wire = bytes_of(msg.c_str());
+    auto r = sip::SipMessage::parse(ConstByteSpan{wire});
+    EXPECT_EQ(r.code(), Errc::kProtocolError) << "Content-Length: " << cl;
+  }
+}
+
+TEST(SipMessage, ParseClampsContentLengthLie) {
+  // A declared length larger than the bytes that actually arrived (but
+  // small enough to be plausible within the datagram) clamps to what is
+  // present — UDP SIP has no framing beyond the datagram itself.
+  const std::string msg =
+      "BYE sip:b SIP/2.0\r\nCall-ID: c\r\nContent-Length: 40\r\n\r\nshort";
+  const Bytes wire = bytes_of(msg.c_str());
+  auto r = sip::SipMessage::parse(ConstByteSpan{wire});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body, "short");
+
+  // A smaller declared length trims the tail.
+  const std::string msg2 =
+      "BYE sip:b SIP/2.0\r\nCall-ID: c\r\nContent-Length: 2\r\n\r\nshort";
+  const Bytes wire2 = bytes_of(msg2.c_str());
+  auto r2 = sip::SipMessage::parse(ConstByteSpan{wire2});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->body, "sh");
+}
+
+TEST(SipMessage, ParseBoundsHeaderCountAndLineLength) {
+  // Header bomb: more headers than any sane message carries.
+  std::string bomb = "BYE sip:b SIP/2.0\r\n";
+  for (int i = 0; i < 200; ++i)
+    bomb += "X-H" + std::to_string(i) + ": v\r\n";
+  bomb += "\r\n";
+  const Bytes wire = bytes_of(bomb.c_str());
+  EXPECT_EQ(sip::SipMessage::parse(ConstByteSpan{wire}).code(),
+            Errc::kProtocolError);
+
+  // One absurdly long header line.
+  std::string longline = "BYE sip:b SIP/2.0\r\nX-Pad: ";
+  longline.append(10'000, 'a');
+  longline += "\r\n\r\n";
+  const Bytes wire2 = bytes_of(longline.c_str());
+  EXPECT_EQ(sip::SipMessage::parse(ConstByteSpan{wire2}).code(),
+            Errc::kProtocolError);
+
+  // Header line with no name before the colon.
+  const Bytes wire3 =
+      bytes_of("BYE sip:b SIP/2.0\r\n: nameless\r\n\r\n");
+  EXPECT_EQ(sip::SipMessage::parse(ConstByteSpan{wire3}).code(),
+            Errc::kProtocolError);
+}
+
+TEST(SipMessage, ParseRejectsMalformedStartLines) {
+  for (const char* start : {
+           "SIP/2.0 42 TooLow",          // status < 100
+           "SIP/2.0 banana OK",          // non-numeric status
+           "SIP/2.0",                    // missing status entirely
+           "INVITE sip:x HTTP/1.1",      // wrong version
+           "INVITE sip:x",               // missing version
+           "FROB sip:x SIP/2.0",         // unknown method
+       }) {
+    std::string msg = std::string(start) + "\r\nCall-ID: c\r\n\r\n";
+    const Bytes wire = bytes_of(msg.c_str());
+    EXPECT_FALSE(sip::SipMessage::parse(ConstByteSpan{wire}).ok())
+        << start;
+  }
+}
+
 TEST(SipTransaction, BasicCallLifecycleUas) {
   sip::CallRecord call;
   auto a1 = sip::uas_on_request(call, sip::Method::kInvite);

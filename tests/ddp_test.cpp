@@ -78,6 +78,44 @@ TEST(DdpSegment, TruncatedSegmentRejected) {
             Errc::kProtocolError);
 }
 
+TEST(DdpSegment, RejectsOffsetPayloadExceedingMessageLength) {
+  // mo + payload must fit in msg_len; a lying header would otherwise index
+  // past the reassembly sink downstream. Only reachable with CRC off.
+  SegmentHeader h;
+  h.set_opcode(0);
+  h.msg_len = 100;
+  h.mo = 90;
+  const Bytes payload = make_pattern(20, 3);  // 90 + 20 > 100
+  const Bytes wire = build_segment(h, ConstByteSpan{payload}, false);
+  EXPECT_EQ(parse_segment(ConstByteSpan{wire}, false).code(),
+            Errc::kProtocolError);
+
+  h.mo = 80;  // 80 + 20 == 100: exactly full is fine
+  const Bytes ok = build_segment(h, ConstByteSpan{payload}, false);
+  EXPECT_TRUE(parse_segment(ConstByteSpan{ok}, false).ok());
+}
+
+TEST(DdpSegment, RejectsBadOpcodeAndQueue) {
+  SegmentHeader h;
+  h.msg_len = 10;
+  const Bytes payload = make_pattern(10, 4);
+
+  h.set_opcode(7);  // 0x7 is reserved in RFC 5040
+  Bytes wire = build_segment(h, ConstByteSpan{payload}, false);
+  EXPECT_EQ(parse_segment(ConstByteSpan{wire}, false).code(),
+            Errc::kProtocolError);
+
+  h.set_opcode(0);  // valid opcode, but untagged queue out of range
+  h.queue = 9;
+  wire = build_segment(h, ConstByteSpan{payload}, false);
+  EXPECT_EQ(parse_segment(ConstByteSpan{wire}, false).code(),
+            Errc::kProtocolError);
+
+  h.queue = 0;
+  wire = build_segment(h, ConstByteSpan{payload}, false);
+  EXPECT_TRUE(parse_segment(ConstByteSpan{wire}, false).ok());
+}
+
 TEST(StagTable, RegisterCheckInvalidate) {
   StagTable table;
   Bytes region(1000, 0);

@@ -135,12 +135,12 @@ struct TcpPair {
   void connect(u16 port = 800) {
     (void)n.b.tcp().listen(port, [&](host::TcpSocket::Ptr s) {
       server = s;
-      s->on_data([&](ConstByteSpan d) {
+      s->on_data([&](ConstByteSpan d, bool) {
         server_rx.insert(server_rx.end(), d.begin(), d.end());
       });
     });
     client = *n.a.tcp().connect({n.b.addr(), port});
-    client->on_data([&](ConstByteSpan d) {
+    client->on_data([&](ConstByteSpan d, bool) {
       client_rx.insert(client_rx.end(), d.begin(), d.end());
     });
     bool up = false;
@@ -169,6 +169,28 @@ TEST(Tcp, ConnectToClosedPortFails) {
   sock->on_close([&] { closed = true; });
   n.fabric.sim().run_while_pending([&] { return closed; }, kSecond);
   EXPECT_TRUE(closed);  // RST from the closed port
+}
+
+TEST(Tcp, UnansweredConnectGivesUpWithTimeout) {
+  Net n;
+  // Black-hole everything a sends: SYNs vanish, so no RST ever comes back.
+  // The consecutive-RTO cap must abort the connect instead of retrying
+  // forever (which would also make sim().run() spin for eternity).
+  n.fabric.set_egress_faults(0, sim::Faults::bernoulli(1.0));
+  auto sock = *n.a.tcp().connect({n.b.addr(), 800});
+  Status result = Status::Ok();
+  bool connect_cb = false;
+  sock->on_connect([&](Status s) {
+    connect_cb = true;
+    result = s;
+  });
+  bool closed = false;
+  sock->on_close([&] { closed = true; });
+  n.fabric.sim().run();
+  EXPECT_TRUE(connect_cb);
+  EXPECT_EQ(result.code(), Errc::kTimedOut);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(sock->state(), host::TcpSocket::State::kClosed);
 }
 
 TEST(Tcp, BulkTransferIntegrity) {

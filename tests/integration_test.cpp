@@ -276,7 +276,7 @@ TEST(Integration, TcpZeroWindowRecoversViaWindowUpdate) {
   std::size_t rx = 0;
   (void)b.tcp().listen(80, [&](host::TcpSocket::Ptr s) {
     srv = s;
-    s->on_data([&](ConstByteSpan d) { rx += d.size(); });
+    s->on_data([&](ConstByteSpan d, bool) { rx += d.size(); });
   });
   auto cl = *a.tcp().connect({b.addr(), 80});
   bool up = false;

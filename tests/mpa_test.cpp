@@ -26,7 +26,7 @@ TEST(Mpa, SingleFpduRoundtrip) {
   MpaSender tx;
   MpaReceiver rx;
   std::vector<Bytes> got;
-  rx.on_ulpdu([&](Bytes u) { got.push_back(std::move(u)); });
+  rx.on_ulpdu([&](Bytes u, bool) { got.push_back(std::move(u)); });
   const Bytes ulpdu = make_pattern(100, 1);
   ASSERT_TRUE(rx.consume(ConstByteSpan{tx.frame(ConstByteSpan{ulpdu})}).ok());
   ASSERT_EQ(got.size(), 1u);
@@ -49,7 +49,7 @@ TEST(Mpa, EmptyUlpduIsLegal) {
   MpaSender tx;
   MpaReceiver rx;
   int count = 0;
-  rx.on_ulpdu([&](Bytes u) {
+  rx.on_ulpdu([&](Bytes u, bool) {
     EXPECT_TRUE(u.empty());
     ++count;
   });
@@ -60,7 +60,7 @@ TEST(Mpa, EmptyUlpduIsLegal) {
 TEST(Mpa, CrcCorruptionPoisonsStream) {
   MpaSender tx;
   MpaReceiver rx;
-  rx.on_ulpdu([](Bytes) {});
+  rx.on_ulpdu([](Bytes, bool) {});
   Bytes stream = tx.frame(ConstByteSpan{make_pattern(64, 3)});
   stream[10] ^= 0xFF;
   EXPECT_EQ(rx.consume(ConstByteSpan{stream}).code(), Errc::kCrcError);
@@ -77,7 +77,7 @@ TEST(Mpa, NoMarkersMode) {
   MpaSender tx(cfg);
   MpaReceiver rx(cfg);
   std::vector<Bytes> got;
-  rx.on_ulpdu([&](Bytes u) { got.push_back(std::move(u)); });
+  rx.on_ulpdu([&](Bytes u, bool) { got.push_back(std::move(u)); });
   const Bytes big = make_pattern(3000, 4);
   const Bytes stream = tx.frame(ConstByteSpan{big});
   EXPECT_EQ(stream.size(), 2u + 3000 + 2 + 4);  // no marker bytes
@@ -92,7 +92,7 @@ TEST(Mpa, NoCrcMode) {
   MpaSender tx(cfg);
   MpaReceiver rx(cfg);
   int count = 0;
-  rx.on_ulpdu([&](Bytes) { ++count; });
+  rx.on_ulpdu([&](Bytes, bool) { ++count; });
   ASSERT_TRUE(
       rx.consume(ConstByteSpan{tx.frame(ConstByteSpan{make_pattern(64, 5)})})
           .ok());
@@ -130,7 +130,7 @@ TEST_P(MpaChunking, ResegmentationIsTransparent) {
 
   MpaReceiver rx;
   std::vector<Bytes> got;
-  rx.on_ulpdu([&](Bytes u) { got.push_back(std::move(u)); });
+  rx.on_ulpdu([&](Bytes u, bool) { got.push_back(std::move(u)); });
   for (std::size_t off = 0; off < stream.size(); off += chunk) {
     const std::size_t n = std::min(chunk, stream.size() - off);
     ASSERT_TRUE(rx.consume(ConstByteSpan{stream}.subspan(off, n)).ok());

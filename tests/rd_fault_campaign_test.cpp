@@ -102,7 +102,7 @@ void run_rd_campaign_case(const FaultCase& fc, bool ordered) {
   rd::ReliableDatagram rdb(b.ctx(), *sb, cfg);
 
   std::vector<u32> got;
-  rdb.on_datagram([&](rd::Endpoint, Bytes d) {
+  rdb.on_datagram([&](rd::Endpoint, Bytes d, bool) {
     ASSERT_EQ(d.size(), kPayload);
     got.push_back(static_cast<u32>(d[0]) | (static_cast<u32>(d[1]) << 8));
   });
@@ -157,7 +157,7 @@ TEST(RdFaultCampaign, CasesAreDeterministic) {
     cfg.max_retries = 30;
     rd::ReliableDatagram rda(a.ctx(), *sa, cfg);
     rd::ReliableDatagram rdb(b.ctx(), *sb, cfg);
-    rdb.on_datagram([](rd::Endpoint, Bytes) {});
+    rdb.on_datagram([](rd::Endpoint, Bytes, bool) {});
     Bytes msg(64, 9);
     for (int i = 0; i < 100; ++i)
       EXPECT_TRUE(rda.send_to({b.addr(), 100}, ConstByteSpan{msg}).ok());

@@ -31,7 +31,7 @@ TEST(Rd, BasicDelivery) {
   RdNet n;
   n.init();
   Bytes got;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got = std::move(d); });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) { got = std::move(d); });
   const Bytes msg = make_pattern(500, 1);
   ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
   n.fabric.sim().run();
@@ -47,7 +47,7 @@ TEST(Rd, ReliableUnderHeavyLoss) {
   n.cfg.max_retries = 30;
   n.init();
   std::vector<Bytes> got;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(std::move(d)); });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) { got.push_back(std::move(d)); });
   const int kN = 50;
   for (int i = 0; i < kN; ++i) {
     Bytes msg = make_pattern(200, static_cast<u32>(i));
@@ -70,7 +70,7 @@ TEST(Rd, DuplicatesSuppressed) {
   n.cfg.max_retries = 3;
   n.init();
   int deliveries = 0;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes) { ++deliveries; });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes, bool) { ++deliveries; });
   Bytes msg(100, 1);
   (void)n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg});
   n.fabric.sim().run();
@@ -94,12 +94,58 @@ TEST(Rd, GiveUpNotifiesFailureHandler) {
   EXPECT_EQ(n.rda->unacked(), 0u);
 }
 
+TEST(Rd, WildSequencesRejectedWithoutWedgingTheWindow) {
+  // With the RD CRC off, nothing vetoes a forged (or corrupted) header, so
+  // the sequencing layer itself must refuse sequence numbers implausibly
+  // far beyond the receive frontier. Before the horizon guard, one wild
+  // data seq or GAP-SKIP base would wedge cum_seen billions ahead — every
+  // legitimate datagram thereafter classified as an old duplicate — and
+  // the skip path would walk the entire bogus gap one sequence at a time.
+  RdNet n;
+  n.cfg.crc = false;
+  n.init();
+  std::vector<Bytes> got;
+  n.rdb->on_datagram(
+      [&](rd::Endpoint, Bytes d, bool) { got.push_back(std::move(d)); });
+
+  auto forge = [](u8 type, u64 seq, std::size_t payload_len) {
+    Bytes out;
+    WireWriter w(out);
+    w.u8be(type);
+    w.u64be(seq);
+    w.u32be(0);  // cum
+    w.u32be(0);  // crc (unchecked: cfg.crc = false)
+    const Bytes body(payload_len, 0xAB);
+    w.bytes(ConstByteSpan{body});
+    return out;
+  };
+  // Inject from a's RD port so b attributes the forgeries to the same peer
+  // the legitimate traffic will come from.
+  ASSERT_TRUE(n.sa->send_to({n.b.addr(), 100},
+                            ConstByteSpan{forge(1, u64{1} << 40, 32)})
+                  .ok());
+  ASSERT_TRUE(
+      n.sa->send_to({n.b.addr(), 100}, ConstByteSpan{forge(3, u64{1} << 41, 0)})
+          .ok());
+  n.fabric.sim().run();
+  EXPECT_EQ(n.rdb->stats().wild_rejects, 2u);
+  EXPECT_TRUE(got.empty());
+
+  // The frontier is untouched: genuine traffic still flows.
+  const Bytes msg = make_pattern(300, 7);
+  ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
+  n.fabric.sim().run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], msg);
+  EXPECT_EQ(n.rda->stats().give_ups, 0u);
+}
+
 TEST(Rd, WindowQueuesExcessAndDrains) {
   RdNet n;
   n.cfg.window = 4;
   n.init();
   int deliveries = 0;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes) { ++deliveries; });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes, bool) { ++deliveries; });
   Bytes msg(50, 1);
   for (int i = 0; i < 20; ++i)
     ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
@@ -121,7 +167,7 @@ TEST(Rd, UnorderedModeDeliversImmediately) {
   n.init();
   std::vector<u8> first_bytes;
   n.rdb->on_datagram(
-      [&](rd::Endpoint, Bytes d) { first_bytes.push_back(d[0]); });
+      [&](rd::Endpoint, Bytes d, bool) { first_bytes.push_back(d[0]); });
   for (u8 i = 1; i <= 3; ++i) {
     Bytes msg(10, i);
     (void)n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg});
@@ -150,7 +196,7 @@ TEST(Rd, UnorderedDedupeIsBoundedUnderDuplication) {
   n.fabric.set_egress_faults(0, sim::Faults::duplicating(1.0));
   n.init();
   std::multiset<u32> got;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) {
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) {
     got.insert(static_cast<u32>(d[0]) | (static_cast<u32>(d[1]) << 8));
   });
   const int kN = 300;
@@ -184,7 +230,7 @@ TEST(Rd, GiveUpGapSkipResumesOrderedDelivery) {
   n.cfg.max_retries = 3;
   n.init();
   std::vector<u8> got;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) { got.push_back(d[0]); });
   int failures = 0;
   n.rda->on_failure([&](rd::Endpoint, u64 seq) {
     ++failures;
@@ -226,7 +272,7 @@ TEST(Rd, ReceiverGapTimeoutRecoversWhenGapSkipIsLost) {
   n.cfg.gap_timeout = 5 * kMillisecond;
   n.init();
   std::vector<u8> got;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) { got.push_back(d[0]); });
   int gaps = 0;
   n.rdb->on_gap([&](rd::Endpoint, u64, u64) { ++gaps; });
   for (u8 i = 1; i <= 3; ++i) {
@@ -251,7 +297,7 @@ TEST(Rd, DupAcksTriggerFastRetransmit) {
   }());
   n.init();
   std::vector<u8> got;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) { got.push_back(d[0]); });
   for (u8 i = 1; i <= 6; ++i) {
     Bytes msg(10, i);
     ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
@@ -276,7 +322,7 @@ TEST(Rd, OrderedReorderBufferIsBounded) {
   n.cfg.dup_ack_threshold = 1000;  // force timer-based recovery of seq 1
   n.init();
   std::vector<u8> got;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) { got.push_back(d[0]); });
   const int kN = 30;
   for (int i = 1; i <= kN; ++i) {
     Bytes msg(10, static_cast<u8>(i));
@@ -311,7 +357,7 @@ TEST(Rd, AdaptiveRtoAvoidsSpuriousRetransmits) {
     n.cfg.max_retries = 30;
     n.init();
     int deliveries = 0;
-    n.rdb->on_datagram([&](rd::Endpoint, Bytes) { ++deliveries; });
+    n.rdb->on_datagram([&](rd::Endpoint, Bytes, bool) { ++deliveries; });
     const Bytes msg = make_pattern(32 * 1024, 7);
     const int kN = 100;
     for (int i = 0; i < kN; ++i)
@@ -347,7 +393,7 @@ TEST(Rd, SameSeedSameRetransmitCounts) {
     n.cfg.max_retries = 30;
     n.init();
     std::vector<u8> got;
-    n.rdb->on_datagram([&](rd::Endpoint, Bytes d) { got.push_back(d[0]); });
+    n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) { got.push_back(d[0]); });
     for (int i = 1; i <= 80; ++i) {
       Bytes msg(40, static_cast<u8>(i));
       EXPECT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
@@ -376,7 +422,7 @@ TEST(Rd, CumulativeAckRetiresEarlierDatagrams) {
   }());
   n.init();
   int deliveries = 0;
-  n.rdb->on_datagram([&](rd::Endpoint, Bytes) { ++deliveries; });
+  n.rdb->on_datagram([&](rd::Endpoint, Bytes, bool) { ++deliveries; });
   for (u8 i = 1; i <= 3; ++i) {
     Bytes msg(10, i);
     ASSERT_TRUE(n.rda->send_to({n.b.addr(), 100}, ConstByteSpan{msg}).ok());
@@ -397,8 +443,8 @@ TEST(Rd, PerPeerSequencing) {
   rd::ReliableDatagram rdb(b.ctx(), *sb);
   rd::ReliableDatagram rdc(c.ctx(), *sc);
   int b_got = 0, c_got = 0;
-  rdb.on_datagram([&](rd::Endpoint, Bytes) { ++b_got; });
-  rdc.on_datagram([&](rd::Endpoint, Bytes) { ++c_got; });
+  rdb.on_datagram([&](rd::Endpoint, Bytes, bool) { ++b_got; });
+  rdc.on_datagram([&](rd::Endpoint, Bytes, bool) { ++c_got; });
   Bytes m(20, 1);
   for (int i = 0; i < 5; ++i) {
     (void)rda.send_to({b.addr(), 100}, ConstByteSpan{m});

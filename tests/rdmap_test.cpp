@@ -205,5 +205,62 @@ TEST(Terminate, RoundtripAndValidation) {
   EXPECT_FALSE(TerminateMessage::parse(ConstByteSpan{bad}).ok());
 }
 
+TEST(Terminate, ExhaustiveRoundtripAllLayersAndCodes) {
+  // Every (layer, error code, context) combination the stack can emit must
+  // survive serialize -> parse with all fields intact.
+  constexpr TermLayer kLayers[] = {TermLayer::kRdmap, TermLayer::kDdp,
+                                   TermLayer::kLlp};
+  constexpr TermError kCodes[] = {
+      TermError::kInvalidStag,   TermError::kBaseBoundsViolation,
+      TermError::kAccessViolation, TermError::kInvalidOpcode,
+      TermError::kCatastrophic,  TermError::kBufferTooSmall};
+  constexpr u32 kContexts[] = {0, 1, 0xBEEF, 0xFFFF'FFFF};
+  for (TermLayer layer : kLayers) {
+    for (TermError code : kCodes) {
+      for (u32 ctx : kContexts) {
+        TerminateMessage t;
+        t.layer = layer;
+        t.error_code = static_cast<u8>(code);
+        t.context = ctx;
+        const Bytes wire = t.serialize();
+        ASSERT_EQ(wire.size(), 8u);
+        auto parsed = TerminateMessage::parse(ConstByteSpan{wire});
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed->layer, layer);
+        EXPECT_EQ(parsed->error_code, static_cast<u8>(code));
+        EXPECT_EQ(parsed->context, ctx);
+      }
+    }
+  }
+}
+
+TEST(Terminate, MalformedMessagesRejectedCleanly) {
+  TerminateMessage good;
+  good.layer = TermLayer::kLlp;
+  good.error_code = static_cast<u8>(TermError::kCatastrophic);
+  good.context = 7;
+  const Bytes wire = good.serialize();
+
+  // Every strict prefix is too short.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    auto r = TerminateMessage::parse(ConstByteSpan{wire}.subspan(0, n));
+    EXPECT_EQ(r.code(), Errc::kProtocolError) << "prefix " << n;
+  }
+  // Every invalid layer value.
+  for (unsigned layer = 3; layer <= 0xFF; ++layer) {
+    Bytes bad = wire;
+    bad[0] = static_cast<u8>(layer);
+    EXPECT_FALSE(TerminateMessage::parse(ConstByteSpan{bad}).ok());
+  }
+  // Error code 0 and everything past kBufferTooSmall is invalid.
+  for (unsigned code = 0; code <= 0xFF; ++code) {
+    Bytes bad = wire;
+    bad[1] = static_cast<u8>(code);
+    const bool valid = code >= 1 && code <= 6;
+    EXPECT_EQ(TerminateMessage::parse(ConstByteSpan{bad}).ok(), valid)
+        << "code " << code;
+  }
+}
+
 }  // namespace
 }  // namespace dgiwarp

@@ -2,6 +2,8 @@
 // two-lane CPU model, links, loss models and the learning switch.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "hoststack/host.hpp"
 #include "simnet/cpu.hpp"
 #include "simnet/fabric.hpp"
@@ -223,6 +225,122 @@ TEST(Faults, LinkFlapPhaseShiftsTheWindow) {
   EXPECT_FALSE(flap.should_drop(rng, 750));
 }
 
+TEST(Faults, BernoulliCorruptionMatchesByteRate) {
+  sim::BernoulliCorruption c(0.01);
+  Rng rng(7);
+  Bytes payload(100'000, 0);
+  Bytes orig = payload;
+  ASSERT_TRUE(c.corrupt(rng, 0, payload));
+  std::size_t damaged = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    damaged += payload[i] != orig[i] ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(damaged) / payload.size(), 0.01, 0.005);
+  // Same seed, same damage: the channel is deterministic.
+  Rng rng2(7);
+  Bytes payload2(100'000, 0);
+  sim::BernoulliCorruption c2(0.01);
+  ASSERT_TRUE(c2.corrupt(rng2, 0, payload2));
+  EXPECT_EQ(payload, payload2);
+}
+
+TEST(Faults, GilbertElliottCorruptionBursts) {
+  // Good state is clean; Bad state peppers bytes heavily -> damaged frames
+  // should cluster instead of spreading uniformly.
+  sim::GilbertElliottCorruption c(0.02, 0.3, 0.0, 0.5);
+  Rng rng(13);
+  int corrupted_frames = 0, transitions = 0;
+  bool prev = false;
+  for (int i = 0; i < 5'000; ++i) {
+    Bytes payload(64, 0);
+    const bool hit = c.corrupt(rng, 0, payload);
+    if (hit != prev) ++transitions;
+    prev = hit;
+    corrupted_frames += hit ? 1 : 0;
+  }
+  EXPECT_GT(corrupted_frames, 100);
+  EXPECT_LT(transitions, corrupted_frames);
+}
+
+TEST(Faults, TargetedCorruptionHitsExactFrameAndOffset) {
+  sim::TargetedCorruption c({{2, 5, 0xFF}, {4, 0, 0x01}});
+  Rng rng(1);
+  for (u64 frame = 1; frame <= 5; ++frame) {
+    Bytes payload(16, 0xAA);
+    const bool hit = c.corrupt(rng, 0, payload);
+    if (frame == 2) {
+      EXPECT_TRUE(hit);
+      EXPECT_EQ(payload[5], 0xAA ^ 0xFF);
+    } else if (frame == 4) {
+      EXPECT_TRUE(hit);
+      EXPECT_EQ(payload[0], 0xAA ^ 0x01);
+    } else {
+      EXPECT_FALSE(hit);
+      EXPECT_EQ(payload, Bytes(16, 0xAA));
+    }
+  }
+}
+
+TEST(Faults, TargetedCorruptionZeroMaskTruncates) {
+  sim::TargetedCorruption c({{1, 4, 0}});
+  Rng rng(1);
+  Bytes payload(16, 0xAA);
+  ASSERT_TRUE(c.corrupt(rng, 0, payload));
+  EXPECT_EQ(payload.size(), 4u);
+}
+
+TEST(Faults, TruncationCorruptionCutsSuffix) {
+  sim::TruncationCorruption c(1.0);
+  Rng rng(3);
+  Bytes payload(100, 1);
+  ASSERT_TRUE(c.corrupt(rng, 0, payload));
+  EXPECT_LT(payload.size(), 100u);
+  // Rate 0 never touches the frame.
+  sim::TruncationCorruption off(0.0);
+  Bytes intact(100, 1);
+  EXPECT_FALSE(off.corrupt(rng, 0, intact));
+  EXPECT_EQ(intact.size(), 100u);
+}
+
+TEST(Link, CorruptionMarksFrameAndCountsAndTraces) {
+  sim::Simulation s;
+  s.telemetry().trace().enable(16);
+  Rng rng(1);
+  sim::LinkParams p;
+  p.bandwidth_bps = 1e9;
+  p.propagation = 0;
+  sim::Link link(s, rng, p, "l");
+  sim::Faults f;
+  f.corruption =
+      std::make_unique<sim::TargetedCorruption>(
+          std::vector<sim::CorruptTarget>{{2, 3, 0x80}});
+  link.set_faults(std::move(f));
+
+  std::vector<sim::Frame> rx;
+  link.set_receiver([&](sim::Frame fr) { rx.push_back(std::move(fr)); });
+  for (u64 i = 1; i <= 3; ++i) {
+    sim::Frame fr;
+    fr.id = i;
+    fr.payload.assign(32, 0x55);
+    link.transmit(std::move(fr));
+  }
+  s.run();
+
+  ASSERT_EQ(rx.size(), 3u);
+  EXPECT_FALSE(rx[0].corrupted);
+  EXPECT_TRUE(rx[1].corrupted);
+  EXPECT_EQ(rx[1].payload[3], 0x55 ^ 0x80);
+  EXPECT_FALSE(rx[2].corrupted);
+  EXPECT_EQ(link.stats().frames_corrupted.value(), 1u);
+  EXPECT_EQ(s.telemetry().counter_value("simnet.link.frames_corrupted"), 1u);
+
+  const auto events = s.telemetry().trace().snapshot();
+  const bool traced = std::any_of(
+      events.begin(), events.end(), [](const telemetry::TraceEvent& e) {
+        return e.kind == telemetry::TraceKind::kLinkCorrupt && e.a == 2;
+      });
+  EXPECT_TRUE(traced);
+}
+
 TEST(Link, DuplicationFaultDeliversASecondCopy) {
   sim::Simulation s;
   Rng rng(1);
@@ -254,7 +372,7 @@ TEST(Switch, LearnsAndForwards) {
   auto* udp_b = *b.udp().open(100);
   auto* udp_c = *c.udp().open(100);
   int c_rx = 0;
-  udp_c->set_handler([&](host::Endpoint, Bytes) { ++c_rx; });
+  udp_c->set_handler([&](host::Endpoint, Bytes, bool) { ++c_rx; });
   Bytes msg = bytes_of("x");
   (void)udp_a->send_to({b.addr(), 100}, ConstByteSpan{msg});
   fabric.sim().run();

@@ -185,5 +185,47 @@ TEST(Telemetry, LossyRunCoversLayersAndIsDeterministic) {
             std::string::npos);
 }
 
+TEST(Telemetry, CorruptedRunCountersAreDeterministic) {
+  // The corruption counters introduced with the fault family — link-level
+  // frames_corrupted, CRC drops, and the escape oracle — must reproduce
+  // byte-for-byte across runs with the same seed, and must tell a coherent
+  // story: with the CRC on, every corrupted datagram is dropped, none
+  // escape.
+  auto run_once = [](bool crc_on, u64& corrupted, u64& drops, u64& escapes) {
+    Registry metrics;
+    perf::Options opts;
+    opts.seed = 777;
+    opts.metrics = &metrics;
+    opts.ud_crc = crc_on;
+    opts.data_faults = [] { return sim::Faults::bit_errors(2e-4); };
+    (void)perf::measure_bandwidth(perf::Mode::kUdSendRecv, 256 * 1024, 8,
+                                  opts);
+    corrupted = metrics.counter_value("simnet.link.frames_corrupted");
+    drops = metrics.counter_value("verbs.ud.crc_drops");
+    escapes = metrics.counter_value("verbs.ud.crc_escapes");
+    return metrics.to_json();
+  };
+
+  u64 corrupted1 = 0, drops1 = 0, escapes1 = 0;
+  u64 corrupted2 = 0, drops2 = 0, escapes2 = 0;
+  const std::string j1 = run_once(true, corrupted1, drops1, escapes1);
+  const std::string j2 = run_once(true, corrupted2, drops2, escapes2);
+  EXPECT_EQ(j1, j2);  // byte-identical for the same seed
+  EXPECT_GT(corrupted1, 0u);
+  EXPECT_GT(drops1, 0u);
+  EXPECT_EQ(escapes1, 0u);  // CRC on: nothing corrupt gets through
+  EXPECT_EQ(corrupted1, corrupted2);
+  EXPECT_EQ(drops1, drops2);
+
+  // CRC off: same channel, but now the corruption escapes — and the taint
+  // oracle measures exactly that instead of silently losing it.
+  u64 corrupted3 = 0, drops3 = 0, escapes3 = 0;
+  const std::string j3 = run_once(false, corrupted3, drops3, escapes3);
+  EXPECT_GT(corrupted3, 0u);
+  EXPECT_EQ(drops3, 0u);
+  EXPECT_GT(escapes3, 0u);
+  EXPECT_NE(j1, j3);
+}
+
 }  // namespace
 }  // namespace dgiwarp

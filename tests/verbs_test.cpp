@@ -190,9 +190,8 @@ TEST(UdQp, CorruptedSegmentDroppedByCrc) {
   Rig r;
   auto qa = r.ud_pair_a();
   auto qb = r.ud_pair_b();
-  // Inject corruption between the hosts by flipping a payload byte in
-  // flight: easiest via a fault model is not possible, so send a raw
-  // garbage datagram at the QP's UDP port instead.
+  // Complementary to the fault-model tests below: a raw garbage datagram
+  // aimed straight at the QP's UDP port also dies on the segment CRC.
   auto* raw = *r.a.udp().open(0);
   Bytes junk = make_pattern(200, 9);
   (void)raw->send_to({r.b.addr(), qb->local_port()}, ConstByteSpan{junk});
@@ -200,6 +199,78 @@ TEST(UdQp, CorruptedSegmentDroppedByCrc) {
   EXPECT_EQ(qb->stats().crc_drops, 1u);
   EXPECT_EQ(qb->state(), verbs::QpState::kRts);
   (void)qa;
+}
+
+TEST(UdQp, InFlightCorruptionDroppedByCrcQpStaysUsable) {
+  // A fault-injected bit flip in the DDP payload must be caught by the
+  // segment CRC32: the datagram dies silently (crc_drops), never escapes
+  // (crc_escapes == 0), and the QP keeps working once the channel heals.
+  Rig r;
+  auto qa = r.ud_pair_a();
+  auto qb = r.ud_pair_b();
+  // Wire layout: IP(20) + UDP(8) + DDP header(32) + payload; offset 62
+  // strikes payload byte 2 of the first (and only) datagram.
+  r.fabric.set_egress_faults(
+      0, sim::Faults::targeted_corruption({{1, 62, 0xFF}}));
+
+  Bytes sink(64, 0);
+  ASSERT_TRUE(qb->post_recv(RecvWr{1, ByteSpan{sink}}).ok());
+  Bytes msg = make_pattern(64, 5);
+  SendWr wr;
+  wr.wr_id = 10;
+  wr.local = ConstByteSpan{msg};
+  wr.remote = {qb->local_ep(), qb->qpn()};
+  ASSERT_TRUE(qa->post_send(wr).ok());
+  r.fabric.sim().run();
+
+  EXPECT_EQ(qb->stats().crc_drops, 1u);
+  EXPECT_EQ(qb->stats().crc_escapes, 0u);
+  EXPECT_EQ(r.fabric.sim().telemetry().counter_value(
+                "simnet.link.frames_corrupted"),
+            1u);
+  EXPECT_EQ(qb->state(), verbs::QpState::kRts);  // relaxed UD error rules
+
+  // Channel heals: the same QP delivers the next message into the still
+  // outstanding receive buffer.
+  r.fabric.set_egress_faults(0, sim::Faults::none());
+  wr.wr_id = 11;
+  ASSERT_TRUE(qa->post_send(wr).ok());
+  r.fabric.sim().run();
+  auto c = r.cq_b.poll();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(sink, msg);
+}
+
+TEST(UdQp, CrcOffMeasuresSilentCorruptionEscape) {
+  // The CRC ablation: with ud_crc disabled the corrupted datagram is
+  // *accepted* and the taint oracle counts the escape — the measurement the
+  // corruption sweep relies on.
+  verbs::DeviceConfig cfg;
+  cfg.ud_crc = false;
+  Rig r(cfg);
+  auto qa = r.ud_pair_a();
+  auto qb = r.ud_pair_b();
+  r.fabric.set_egress_faults(
+      0, sim::Faults::targeted_corruption({{1, 62, 0xFF}}));
+
+  Bytes sink(64, 0);
+  ASSERT_TRUE(qb->post_recv(RecvWr{1, ByteSpan{sink}}).ok());
+  Bytes msg = make_pattern(64, 5);
+  SendWr wr;
+  wr.local = ConstByteSpan{msg};
+  wr.remote = {qb->local_ep(), qb->qpn()};
+  ASSERT_TRUE(qa->post_send(wr).ok());
+  r.fabric.sim().run();
+
+  EXPECT_EQ(qb->stats().crc_drops, 0u);
+  EXPECT_EQ(qb->stats().crc_escapes, 1u);
+  EXPECT_EQ(r.fabric.sim().telemetry().counter_value("verbs.ud.crc_escapes"),
+            1u);
+  // The message was delivered -- wrongly. Byte 2 carries the struck bit.
+  auto c = r.cq_b.poll();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NE(sink, msg);
+  EXPECT_EQ(sink[2], static_cast<u8>(msg[2] ^ 0xFF));
 }
 
 TEST(UdQp, NoPostedBufferDropsDatagramOnly) {
@@ -460,6 +531,93 @@ TEST(RcQp, WriteRecordOverReliableTransport) {
   EXPECT_EQ(rec->opcode, WcOpcode::kRecvWriteRecord);
   EXPECT_TRUE(rec->validity.complete(40'000));
   EXPECT_TRUE(std::equal(msg.begin(), msg.end(), region.begin()));
+}
+
+TEST(RcQp, CorruptedFpduFailsCrcAndTerminates) {
+  // The MPA CRC is the last line of defense when the TCP checksum is off
+  // (the paper's CRC ablation): a corrupted FPDU must fail the CRC, raise a
+  // Terminate, and move BOTH QPs to Error — never deliver damaged bytes.
+  Rig r;
+  r.a.tcp().set_validate_checksum(false);
+  r.b.tcp().set_validate_checksum(false);
+  std::shared_ptr<verbs::RcQueuePair> server;
+  ASSERT_TRUE(r.dev_b
+                  .rc_listen(800, {&r.pd_b, &r.cq_b, &r.cq_b},
+                             [&](auto qp) { server = std::move(qp); })
+                  .ok());
+  auto client = *r.dev_a.rc_connect({&r.pd_a, &r.cq_a, &r.cq_a},
+                                    r.b.endpoint(800));
+  r.fabric.sim().run();  // quiesce the handshake completely
+  ASSERT_NE(server, nullptr);
+
+  // Strike the next a->b frame (the data FPDU) inside the TCP payload:
+  // IP(20) + TCP(30) = 50, so offset 55 lands in the MPA/DDP bytes.
+  r.fabric.set_egress_faults(
+      0, sim::Faults::targeted_corruption({{1, 55, 0xFF}}));
+
+  Bytes sink(64, 0);
+  ASSERT_TRUE(server->post_recv(RecvWr{1, ByteSpan{sink}}).ok());
+  Bytes msg = make_pattern(64, 6);
+  SendWr wr;
+  wr.local = ConstByteSpan{msg};
+  ASSERT_TRUE(client->post_send(wr).ok());
+  r.fabric.sim().run();
+
+  EXPECT_GE(server->stats().fpdu_crc_failures, 1u);
+  EXPECT_EQ(server->stats().crc_escapes, 0u);
+  EXPECT_EQ(server->state(), verbs::QpState::kError);
+  // The Terminate made it back over the (clean) b->a direction before the
+  // stream came down, so the client learned the real reason.
+  EXPECT_EQ(client->state(), verbs::QpState::kError);
+  EXPECT_GE(client->stats().terminates_rx, 1u);
+  EXPECT_EQ(r.fabric.sim().telemetry().counter_value(
+                "verbs.rc.fpdu_crc_failures"),
+            server->stats().fpdu_crc_failures);
+  // The corrupted bytes never reached the application buffer.
+  EXPECT_EQ(sink, Bytes(64, 0));
+}
+
+TEST(RcQp, CorruptedTerminateTearsDownWithoutLoop) {
+  // Corrupt BOTH directions: the data FPDU a->b dies on the MPA CRC, and
+  // the resulting Terminate b->a is itself damaged in flight. The client
+  // must treat the broken Terminate as one more CRC failure and tear down
+  // locally — not answer it (no terminate ping-pong), not hang the sim.
+  Rig r;
+  r.a.tcp().set_validate_checksum(false);
+  r.b.tcp().set_validate_checksum(false);
+  std::shared_ptr<verbs::RcQueuePair> server;
+  ASSERT_TRUE(r.dev_b
+                  .rc_listen(800, {&r.pd_b, &r.cq_b, &r.cq_b},
+                             [&](auto qp) { server = std::move(qp); })
+                  .ok());
+  auto client = *r.dev_a.rc_connect({&r.pd_a, &r.cq_a, &r.cq_a},
+                                    r.b.endpoint(800));
+  r.fabric.sim().run();
+  ASSERT_NE(server, nullptr);
+
+  // a->b: corrupt the data FPDU. b->a (= a's ingress): corrupt every frame
+  // for a while, so whichever frame carries the Terminate arrives damaged.
+  r.fabric.set_egress_faults(
+      0, sim::Faults::targeted_corruption({{1, 55, 0xFF}}));
+  std::vector<sim::CorruptTarget> all;
+  for (u64 i = 1; i <= 64; ++i) all.push_back({i, 55, 0x40});
+  r.fabric.set_ingress_faults(0, sim::Faults::targeted_corruption(all));
+
+  Bytes msg = make_pattern(64, 7);
+  SendWr wr;
+  wr.local = ConstByteSpan{msg};
+  ASSERT_TRUE(client->post_send(wr).ok());
+  // run() returning at all proves teardown converges (no terminate loop,
+  // no immortal retransmission).
+  r.fabric.sim().run();
+
+  EXPECT_EQ(server->state(), verbs::QpState::kError);
+  EXPECT_EQ(client->state(), verbs::QpState::kError);
+  EXPECT_GE(server->stats().fpdu_crc_failures, 1u);
+  // The client never saw a parseable Terminate...
+  EXPECT_EQ(client->stats().terminates_rx, 0u);
+  // ...and the server never got one echoed back at it.
+  EXPECT_EQ(server->stats().terminates_rx, 0u);
 }
 
 TEST(RcQp, DisconnectMovesPeerToError) {
