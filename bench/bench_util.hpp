@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -10,17 +11,65 @@
 #include "common/types.hpp"
 #include "perf/harness.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace dgiwarp::bench {
+
+/// Parse `<flag> <path>` from argv ("" if absent).
+inline std::string arg_path(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return {};
+}
 
 /// Parse `--metrics-json <path>` from argv. Returns the path ("" if the
 /// flag is absent). Every figure bench accepts the flag; the aggregate
 /// registry collecting all measurement runs is dumped there on exit.
 inline std::string metrics_json_path(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-json") == 0) return argv[i + 1];
+  return arg_path(argc, argv, "--metrics-json");
+}
+
+/// `--trace-json <path>`: Chrome trace_event / Perfetto span export.
+inline std::string trace_json_path(int argc, char** argv) {
+  return arg_path(argc, argv, "--trace-json");
+}
+
+/// `--profile-json <path>`: cost-profiler buckets + span phase totals.
+inline std::string profile_json_path(int argc, char** argv) {
+  return arg_path(argc, argv, "--profile-json");
+}
+
+/// Write the capture's trace / profile documents to any requested paths.
+/// The trace is validated against the trace_event schema first and the
+/// process aborts on a violation — an exported-but-broken trace is a bug,
+/// and verify-telemetry leans on this exit code.
+inline void dump_capture(const telemetry::TraceCapture& cap,
+                         const std::string& trace_path,
+                         const std::string& profile_path) {
+  if (!trace_path.empty()) {
+    if (Status v = telemetry::validate_trace_event_json(
+            cap.trace_event_json());
+        !v.ok()) {
+      std::fprintf(stderr, "trace export failed schema validation: %s\n",
+                   v.to_string().c_str());
+      std::exit(1);
+    }
+    if (cap.write_trace(trace_path).ok())
+      std::printf("\ntrace written to %s (%zu spans, %zu runs, "
+                  "schema-valid)\n",
+                  trace_path.c_str(), cap.spans().size(), cap.runs());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_path.c_str());
   }
-  return {};
+  if (!profile_path.empty()) {
+    if (cap.write_profile(profile_path).ok())
+      std::printf("profile written to %s\n", profile_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write profile to %s\n",
+                   profile_path.c_str());
+  }
 }
 
 /// Write the aggregate registry to `path` if one was requested.

@@ -1,20 +1,28 @@
 // Figure 6: unidirectional verbs bandwidth, back-to-back messages,
 // 1 B - 1 MB, all four modes.
+//
+// Flags: --metrics-json <path>   aggregate counters for all runs
 #include "bench_util.hpp"
 
 using namespace dgiwarp;
 using perf::Mode;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 6 — unidirectional bandwidth",
                 "UD WriteRec +256% over RC Write at 512KB; UD S/R +33.4% "
                 "over RC S/R at 256KB; UD curves peak ~240-250 MB/s, RC S/R "
                 "~180 MB/s, RC Write ~70 MB/s");
 
+  const std::string metrics_path = bench::metrics_json_path(argc, argv);
+  telemetry::Registry metrics;
+  perf::Options opts;
+  if (!metrics_path.empty()) opts.metrics = &metrics;
+
   TablePrinter t({"size", "UD S/R", "UD WriteRec", "RC S/R", "RC Write",
                   "(MB/s)"});
-  auto bw = [](Mode m, std::size_t sz) {
-    return perf::measure_bandwidth(m, sz, perf::default_message_count(sz))
+  auto bw = [&](Mode m, std::size_t sz) {
+    return perf::measure_bandwidth(m, sz, perf::default_message_count(sz),
+                                   opts)
         .goodput_MBps;
   };
   for (std::size_t sz : size_sweep(1, 1 * MiB)) {
@@ -38,5 +46,7 @@ int main() {
               "measured +%.0f%%\n",
               bench::pct_higher(bw(Mode::kUdWriteRecord, 1 * KiB),
                                 bw(Mode::kRcRdmaWrite, 1 * KiB)));
+
+  bench::dump_metrics(metrics, metrics_path);
   return 0;
 }

@@ -13,6 +13,8 @@
 #include "ddp/segmenter.hpp"
 #include "mpa/mpa.hpp"
 #include "rdmap/write_record.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/span.hpp"
 
 namespace {
 
@@ -111,6 +113,33 @@ void BM_ValidityMapAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValidityMapAdd);
+
+// The observability acceptance bar: a disabled SpanTracker / CostProfiler
+// on the data path must cost a predictable branch, nothing more. These
+// time the exact calls the instrumented layers make per message/charge
+// with tracking off (the default for every measurement run).
+void BM_SpanTrackerDisabled(benchmark::State& state) {
+  telemetry::SpanTracker spans;  // disabled by default
+  for (auto _ : state) {
+    u64 id = spans.begin(telemetry::SpanKind::kMessage, "bench", 1, 4096, 7);
+    spans.stage(id, telemetry::Stage::kSegmentTx, 0, 1432);
+    spans.stage(id, telemetry::Stage::kTransportTx, 1, 1432);
+    spans.end(id, true);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_SpanTrackerDisabled);
+
+void BM_CostProfilerDisabled(benchmark::State& state) {
+  telemetry::CostProfiler prof;  // disabled by default
+  const telemetry::CostSite site{telemetry::CostLayer::kDdp,
+                                 telemetry::CostActivity::kSegment, 1432};
+  for (auto _ : state) {
+    prof.record(site, 100);
+    benchmark::DoNotOptimize(&prof);
+  }
+}
+BENCHMARK(BM_CostProfilerDisabled);
 
 void BM_SipSerialize(benchmark::State& state) {
   const auto req =

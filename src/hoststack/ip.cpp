@@ -80,6 +80,7 @@ Status IpLayer::send(u8 proto, u32 dst_ip, Bytes payload) {
     sim::Frame f;
     f.dst = dst_ip;
     f.proto = sim::kProtoIpv4;
+    f.span = ctx_.active_span;  // lifecycle span rides the frame
     f.payload.reserve(kIpHeaderBytes + n);
     h.serialize(f.payload);
     f.payload.insert(f.payload.end(), payload.begin() + static_cast<long>(off),
@@ -87,7 +88,9 @@ Status IpLayer::send(u8 proto, u32 dst_ip, Bytes payload) {
 
     // Per-fragment kernel transmit cost; the frame enters the wire when the
     // CPU has finished preparing it.
-    const TimeNs ready = ctx_.cpu.charge_kernel(ctx_.costs.ip_frag_tx);
+    const TimeNs ready = ctx_.cpu.charge_kernel(
+        ctx_.costs.ip_frag_tx,
+        {telemetry::CostLayer::kIp, telemetry::CostActivity::kSegment, n});
     ++frags_tx_;
     ctx_.sim.at(ready, [this, fr = std::move(f)]() mutable {
       ctx_.nic.send(std::move(fr));
@@ -110,12 +113,15 @@ void IpLayer::on_frame(sim::Frame f) {
   ConstByteSpan body = r.rest();
 
   // Per-fragment receive processing.
-  ctx_.cpu.charge_kernel(ctx_.costs.ip_frag_rx);
+  ctx_.cpu.charge_kernel(ctx_.costs.ip_frag_rx,
+                         {telemetry::CostLayer::kIp,
+                          telemetry::CostActivity::kSegment, body.size()});
 
   const bool single_fragment =
       h.offset == 0 && (h.flags & kFlagMoreFragments) == 0;
   if (single_fragment) {
     ++dgrams_rx_;
+    SpanScope scope(ctx_, f.span);
     deliver(f.src, h.proto, Bytes(body.begin(), body.end()), f.corrupted);
     return;
   }
@@ -158,6 +164,7 @@ void IpLayer::on_frame(sim::Frame f) {
     return;
   }
   if (f.corrupted) p.tainted = true;
+  if (f.span && p.span == 0) p.span = f.span;
   if (!body.empty())
     std::memcpy(p.data.data() + h.offset, body.data(), body.size());
   p.received += cover_range(p, h.offset, h.offset + body.size());
@@ -165,8 +172,10 @@ void IpLayer::on_frame(sim::Frame f) {
   if (p.received >= p.total) {
     Bytes whole = std::move(p.data);
     const bool tainted = p.tainted;
+    const u64 span = p.span;
     partials_.erase(it);
     ++dgrams_rx_;
+    SpanScope scope(ctx_, span);
     deliver(f.src, h.proto, std::move(whole), tainted);
   }
 }

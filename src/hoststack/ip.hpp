@@ -29,6 +29,30 @@ struct HostCtx {
   std::shared_ptr<MemLedger> ledger;
   Rng& rng;
   u32 ip;  // this host's address
+  // The message-lifecycle span (telemetry/span.hpp) currently being
+  // processed on this host, or 0. The tx path is synchronous from verbs
+  // post down to the frame, so a scoped set (SpanScope) is enough to stamp
+  // Frame::span without threading an argument through every layer; the rx
+  // path re-establishes the scope from the frame around each deferred
+  // delivery closure. Always 0 when span tracking is disabled.
+  u64 active_span = 0;
+};
+
+/// RAII scope for HostCtx::active_span: sets it for the dynamic extent of
+/// a layer call chain and restores the previous value on exit (nesting is
+/// real: e.g. RD retransmission runs inside an ACK-delivery scope).
+class SpanScope {
+ public:
+  SpanScope(HostCtx& ctx, u64 span) : ctx_(ctx), prev_(ctx.active_span) {
+    ctx_.active_span = span;
+  }
+  ~SpanScope() { ctx_.active_span = prev_; }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  HostCtx& ctx_;
+  u64 prev_;
 };
 
 /// IP protocol numbers used by the stack.
@@ -97,6 +121,7 @@ class IpLayer {
     std::size_t received = 0;    // distinct payload bytes received so far
     std::size_t total = 0;       // 0 until the last fragment arrives
     bool tainted = false;        // any contributing frame was corrupted
+    u64 span = 0;                // lifecycle span from contributing frames
     // Disjoint covered [begin, end) ranges. Duplicate or overlapping
     // fragments (duplicating links, retransmitting middleboxes) must not
     // count twice, or reassembly completes early with a hole.

@@ -141,9 +141,13 @@ std::size_t TcpSocket::send(ConstByteSpan data) {
   if (n == 0) return 0;
 
   HostCtx& c = layer_.ctx();
-  c.cpu.charge_kernel(c.costs.tcp_send_fixed +
-               static_cast<TimeNs>(c.costs.tcp_copy_ns_per_byte *
-                                   static_cast<double>(n)));
+  c.cpu.charge_kernel(c.costs.tcp_send_fixed,
+                      {telemetry::CostLayer::kTcp,
+                       telemetry::CostActivity::kSyscall, 0});
+  c.cpu.charge_kernel(static_cast<TimeNs>(c.costs.tcp_copy_ns_per_byte *
+                                          static_cast<double>(n)),
+                      {telemetry::CostLayer::kTcp,
+                       telemetry::CostActivity::kCopy, n});
   snd_buf_.insert(snd_buf_.end(), data.begin(), data.begin() + static_cast<long>(n));
   try_send();
   return n;
@@ -175,7 +179,9 @@ void TcpSocket::abort() {
   Bytes dgram;
   SegmentView::serialize(dgram, local_.port, remote_.port, snd_nxt_, rcv_nxt_,
                          kFlagRst | kFlagAck, 0, {});
-  layer_.ctx().cpu.charge_kernel(layer_.ctx().costs.tcp_ctl_tx);
+  layer_.ctx().cpu.charge_kernel(layer_.ctx().costs.tcp_ctl_tx,
+                                 {telemetry::CostLayer::kTcp,
+                                  telemetry::CostActivity::kControl, 0});
   (void)layer_.ip().send(kIpProtoTcp, remote_.ip, std::move(dgram));
   notify_close();
   destroy();
@@ -184,7 +190,12 @@ void TcpSocket::abort() {
 void TcpSocket::on_segment(const SegmentView& seg, bool tainted) {
   ++seg_rx_;
   HostCtx& c = layer_.ctx();
-  c.cpu.charge_kernel(seg.pure_ack() ? c.costs.tcp_ack_rx : c.costs.tcp_segment_rx);
+  c.cpu.charge_kernel(
+      seg.pure_ack() ? c.costs.tcp_ack_rx : c.costs.tcp_segment_rx,
+      {telemetry::CostLayer::kTcp,
+       seg.pure_ack() ? telemetry::CostActivity::kAck
+                      : telemetry::CostActivity::kSegment,
+       seg.payload.size()});
 
   if (seg.has(kFlagRst)) {
     DGI_DEBUG("tcp", "RST received on :%u", local_.port);
@@ -249,6 +260,14 @@ void TcpSocket::handle_ack(const SegmentView& seg) {
     snd_una_ = seg.ack;
     dup_acks_ = 0;
     rto_failures_ = 0;  // forward progress: reset the give-up clock
+
+    // Retire span tags for fully acknowledged stream bytes.
+    if (!tx_span_tags_.empty() && snd_una_ > iss_) {
+      const u64 acked_off = snd_una_ - (iss_ + 1);
+      auto tag = tx_span_tags_.begin();
+      while (tag != tx_span_tags_.end() && tag->first <= acked_off)
+        tag = tx_span_tags_.erase(tag);
+    }
 
     // Congestion window growth.
     if (cwnd_ < ssthresh_) {
@@ -318,7 +337,8 @@ void TcpSocket::handle_data(const SegmentView& seg, bool tainted) {
       return;
     }
     if (!ooo_.contains(seq)) {
-      ooo_.emplace(seq, OooSeg{Bytes(payload.begin(), payload.end()), tainted});
+      ooo_.emplace(seq, OooSeg{Bytes(payload.begin(), payload.end()), tainted,
+                               layer_.ctx().active_span});
       ooo_bytes_ += payload.size();
     }
     deliver_in_order();
@@ -332,11 +352,13 @@ void TcpSocket::handle_data(const SegmentView& seg, bool tainted) {
 void TcpSocket::deliver_in_order() {
   Bytes chunk;
   bool chunk_tainted = false;
+  u64 chunk_span = 0;
   while (true) {
     auto it = ooo_.begin();
     if (it == ooo_.end() || it->first > rcv_nxt_) break;
     Bytes seg = std::move(it->second.data);
     const bool seg_tainted = it->second.tainted;
+    if (it->second.span) chunk_span = it->second.span;
     const u64 seq = it->first;
     ooo_.erase(it);
     ooo_bytes_ -= std::min<std::size_t>(ooo_bytes_, seg.size());
@@ -357,6 +379,10 @@ void TcpSocket::deliver_in_order() {
     // not per-segment, and amortises away under streaming load.
     rx_app_buf_.insert(rx_app_buf_.end(), chunk.begin(), chunk.end());
     if (chunk_tainted) rx_app_tainted_ = true;
+    // A coalesced chunk can close several messages; the last contributing
+    // segment's span stands for the delivery (exact for ping-pong, an
+    // approximation under pipelining — see DESIGN.md §7).
+    if (chunk_span) rx_app_span_ = chunk_span;
     if (!rx_delivery_scheduled_) {
       rx_delivery_scheduled_ = true;
       HostCtx& c = layer_.ctx();
@@ -367,15 +393,30 @@ void TcpSocket::deliver_in_order() {
         self->rx_app_buf_.clear();
         const bool tainted = self->rx_app_tainted_;
         self->rx_app_tainted_ = false;
+        const u64 span = self->rx_app_span_;
+        self->rx_app_span_ = 0;
         if (data.empty()) return;
         HostCtx& hc = self->layer_.ctx();
-        const TimeNs cost =
-            hc.costs.tcp_deliver_fixed +
+        hc.sim.telemetry().spans().stage(span, telemetry::Stage::kRxWakeup);
+        hc.cpu.charge_kernel(hc.costs.tcp_deliver_fixed,
+                             {telemetry::CostLayer::kTcp,
+                              telemetry::CostActivity::kDeliver, 0});
+        // The copy cost must be computed before the call: the lambda's
+        // init-capture moves `data`, and argument evaluation order is
+        // unspecified.
+        const std::size_t nbytes = data.size();
+        hc.cpu.charge_kernel_then(
             static_cast<TimeNs>(hc.costs.tcp_copy_ns_per_byte *
-                                static_cast<double>(data.size()));
-        hc.cpu.charge_kernel_then(cost, [self, tainted, data = std::move(data)] {
-          if (self->on_data_) self->on_data_(ConstByteSpan{data}, tainted);
-        });
+                                static_cast<double>(nbytes)),
+            {telemetry::CostLayer::kTcp, telemetry::CostActivity::kCopy,
+             nbytes},
+            [self, tainted, span, data = std::move(data)] {
+              HostCtx& hcc = self->layer_.ctx();
+              hcc.sim.telemetry().spans().stage(
+                  span, telemetry::Stage::kRxDeliver, data.size());
+              SpanScope scope(hcc, span);
+              if (self->on_data_) self->on_data_(ConstByteSpan{data}, tainted);
+            });
       });
     }
   }
@@ -469,7 +510,13 @@ void TcpSocket::try_send() {
 void TcpSocket::send_segment(u64 seq, ConstByteSpan payload, u8 flags,
                              bool retx) {
   HostCtx& c = layer_.ctx();
-  c.cpu.charge_kernel(payload.empty() ? c.costs.tcp_ctl_tx : c.costs.tcp_segment_tx);
+  c.cpu.charge_kernel(
+      payload.empty() ? c.costs.tcp_ctl_tx : c.costs.tcp_segment_tx,
+      {telemetry::CostLayer::kTcp,
+       retx ? telemetry::CostActivity::kRetransmit
+            : (payload.empty() ? telemetry::CostActivity::kControl
+                               : telemetry::CostActivity::kSegment),
+       payload.size()});
   const u32 wnd = static_cast<u32>(
       rcv_buf_limit_ > ooo_bytes_ ? rcv_buf_limit_ - ooo_bytes_ : 0);
   Bytes dgram;
@@ -477,20 +524,40 @@ void TcpSocket::send_segment(u64 seq, ConstByteSpan payload, u8 flags,
   SegmentView::serialize(dgram, local_.port, remote_.port, seq, rcv_nxt_,
                          flags, wnd, payload);
   ++seg_tx_;
+  // Resolve the lifecycle span covering this segment's stream bytes (tagged
+  // by the RC QP via tag_tx_span) and scope it so the IP frames carry it —
+  // overriding whatever rx-side scope this call happens to run inside
+  // (retransmit_head fires under the reverse direction's ACK scope).
+  u64 span = 0;
+  if (!tx_span_tags_.empty() && !payload.empty() && seq > iss_) {
+    const auto tag = tx_span_tags_.upper_bound(seq - (iss_ + 1));
+    if (tag != tx_span_tags_.end()) span = tag->second;
+  }
+  auto& reg = layer_.ctx().sim.telemetry();
   if (retx) {
     ++retx_;
-    auto& reg = layer_.ctx().sim.telemetry();
     reg.trace().record(telemetry::TraceKind::kTcpRetransmit, seq,
                        payload.size());
+    reg.spans().stage(span, telemetry::Stage::kRetransmit, seq,
+                      payload.size());
     rtt_pending_ = false;  // Karn's algorithm
+  } else {
+    reg.spans().stage(span, telemetry::Stage::kTransportTx, seq,
+                      payload.size());
   }
-  layer_.ctx().sim.telemetry().gauge("hoststack.tcp.cwnd_bytes").set(cwnd_);
+  reg.gauge("hoststack.tcp.cwnd_bytes").set(cwnd_);
+  SpanScope scope(c, span);
   (void)layer_.ip().send(kIpProtoTcp, remote_.ip, std::move(dgram));
 }
 
 void TcpSocket::send_ack() {
   HostCtx& c = layer_.ctx();
-  c.cpu.charge_kernel(c.costs.tcp_ctl_tx);
+  c.cpu.charge_kernel(c.costs.tcp_ctl_tx,
+                      {telemetry::CostLayer::kTcp,
+                       telemetry::CostActivity::kControl, 0});
+  // Pure ACKs are transport control: they must not carry the span of the
+  // data delivery they happen to run inside.
+  SpanScope scope(c, 0);
   Bytes dgram;
   const u32 wnd = static_cast<u32>(
       rcv_buf_limit_ > ooo_bytes_ ? rcv_buf_limit_ - ooo_bytes_ : 0);
@@ -674,7 +741,9 @@ void TcpLayer::on_datagram(u32 src_ip, Bytes dgram, bool tainted) {
 
   // Stray segment: RST unless it is itself an RST.
   if (!seg.has(kFlagRst)) {
-    ctx_.cpu.charge_kernel(ctx_.costs.tcp_ctl_tx);
+    ctx_.cpu.charge_kernel(ctx_.costs.tcp_ctl_tx,
+                           {telemetry::CostLayer::kTcp,
+                            telemetry::CostActivity::kControl, 0});
     Bytes rst;
     TcpSocket::SegmentView::serialize(rst, seg.dst_port, seg.src_port,
                                       seg.ack, seg.seq + seg.payload.size(),

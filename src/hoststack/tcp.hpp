@@ -78,6 +78,18 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   /// Abortive close: RST now.
   void abort();
 
+  /// Associate a message-lifecycle span (telemetry/span.hpp) with send-
+  /// direction stream bytes ending at `stream_off_end`, where offsets count
+  /// bytes from the first sequence after the SYN (seq - (iss_+1)). The RC
+  /// QP tags ranges as it enqueues framed FPDUs, because its drain into
+  /// send() is deferred and the ambient HostCtx::active_span is gone by
+  /// then; send_segment() looks the span up per segment so the frames it
+  /// emits carry it. Entries retire as ACKs advance. Observational only —
+  /// never consulted by protocol logic.
+  void tag_tx_span(u64 stream_off_end, u64 span) {
+    if (span) tx_span_tags_[stream_off_end] = span;
+  }
+
   // Introspection for tests and benches.
   u64 segments_sent() const { return seg_tx_; }
   u64 segments_received() const { return seg_rx_; }
@@ -128,6 +140,7 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   struct OooSeg {
     Bytes data;
     bool tainted = false;
+    u64 span = 0;  // lifecycle span from the carrying frame
   };
   u64 irs_ = 0;       // initial receive sequence
   u64 rcv_nxt_ = 0;   // next expected
@@ -136,7 +149,10 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   std::size_t rcv_buf_limit_ = 256 * 1024;
   Bytes rx_app_buf_;                   // in-order data awaiting app wakeup
   bool rx_app_tainted_ = false;        // taint pending with rx_app_buf_
+  u64 rx_app_span_ = 0;                // span pending with rx_app_buf_
   bool rx_delivery_scheduled_ = false;
+  // Send-direction span tags: stream offset end -> span (see tag_tx_span).
+  std::map<u64, u64> tx_span_tags_;
   bool fin_received_ = false;
   u64 fin_seq_ = 0;
 

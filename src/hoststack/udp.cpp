@@ -49,10 +49,16 @@ Status UdpSocket::send_to(Endpoint dst, const GatherList& data) {
     return Status(Errc::kInvalidArgument, "datagram exceeds 64KB limit");
 
   HostCtx& ctx = layer_.ctx();
-  // sendto() syscall + user->kernel copy of the payload.
-  ctx.cpu.charge_kernel(ctx.costs.udp_sendto_fixed +
-                 static_cast<TimeNs>(ctx.costs.kernel_copy_ns_per_byte *
-                                     static_cast<double>(data.total_size())));
+  // sendto() syscall + user->kernel copy of the payload (two sequential
+  // charges: same total, separately attributable).
+  ctx.cpu.charge_kernel(ctx.costs.udp_sendto_fixed,
+                        {telemetry::CostLayer::kUdp,
+                         telemetry::CostActivity::kSyscall, 0});
+  ctx.cpu.charge_kernel(
+      static_cast<TimeNs>(ctx.costs.kernel_copy_ns_per_byte *
+                          static_cast<double>(data.total_size())),
+      {telemetry::CostLayer::kUdp, telemetry::CostActivity::kCopy,
+       data.total_size()});
 
   Bytes dgram;
   dgram.reserve(kUdpHeaderBytes + data.total_size());
@@ -169,16 +175,34 @@ void UdpLayer::on_datagram(u32 src_ip, Bytes dgram, bool tainted) {
                           static_cast<double>(payload.size()));
   const Endpoint src{src_ip, h.src_port};
   const u16 dst_port = h.dst_port;
+  // The delivery chain defers through a wakeup delay and a kernel charge;
+  // the lifecycle span (established by IP's deliver scope) is captured into
+  // the closures and re-scoped around the socket handler.
+  const u64 span = c.active_span;
+  const telemetry::CostSite site{telemetry::CostLayer::kUdp,
+                                 receiver_busy
+                                     ? telemetry::CostActivity::kDeliver
+                                     : telemetry::CostActivity::kWakeup,
+                                 payload.size()};
   // Interrupt/wakeup latency first (pure delay), then the CPU-time charge.
   // Re-resolve the socket at delivery time: it may be closed while the
   // kernel-processing charge is still pending.
   c.sim.after(c.costs.rx_wakeup_delay, [this, cost, dst_port, src, tainted,
+                                        span, site,
                                         p = std::move(payload)]() mutable {
+    auto& spans = ctx_.sim.telemetry().spans();
+    spans.stage(span, telemetry::Stage::kRxWakeup);
     ctx_.cpu.charge_kernel_then(
-        cost, [this, dst_port, src, tainted, p = std::move(p)]() mutable {
+        cost, site,
+        [this, dst_port, src, tainted, span, p = std::move(p)]() mutable {
+          ctx_.sim.telemetry().spans().stage(span,
+                                            telemetry::Stage::kRxDeliver,
+                                            p.size());
           auto sit = sockets_.find(dst_port);
-          if (sit != sockets_.end())
+          if (sit != sockets_.end()) {
+            SpanScope scope(ctx_, span);
             sit->second->deliver(src, std::move(p), tainted);
+          }
         });
   });
 }

@@ -183,8 +183,11 @@ void ISockStack::deliver_datagram(Sock& s, Endpoint src, ConstByteSpan data) {
   // Buffered copy: the interface copies from the registered pool into an
   // application-visible buffer (paper §VI.B.1 — this copy is why WR and
   // S/R perform almost identically through the socket interface).
-  dev_.host().cpu().charge(static_cast<TimeNs>(
-      dev_.host().costs().touch_ns_per_byte * static_cast<double>(data.size())));
+  dev_.host().cpu().charge(
+      static_cast<TimeNs>(dev_.host().costs().touch_ns_per_byte *
+                          static_cast<double>(data.size())),
+      {telemetry::CostLayer::kIsock, telemetry::CostActivity::kCopy,
+       data.size()});
   if (s.on_datagram) {
     s.on_datagram(src, data);
     return;
@@ -271,6 +274,18 @@ Status ISockStack::sendto(int fd, Endpoint dst, ConstByteSpan data) {
   }
   ++s->stats.datagrams_tx;
   s->stats.bytes_tx += data.size();
+
+  // The socket interface is the outermost layer: the message lifecycle span
+  // begins here (the verbs post below inherits it instead of opening its
+  // own root).
+  host::HostCtx& hc = dev_.host().ctx();
+  auto& spans = dev_.host().sim().telemetry().spans();
+  u64 span = hc.active_span;
+  if (span == 0 && spans.enabled())
+    span = spans.begin(telemetry::SpanKind::kIsock, "isock sendto",
+                       dev_.host().addr(), data.size(),
+                       static_cast<u64>(fd));
+  host::SpanScope span_scope(hc, span);
 
   if (s->native) return s->native->send_to(dst, data);
 
@@ -385,9 +400,11 @@ void ISockStack::pump_stream_recv(verbs::CompletionQueue& cq) {
     Bytes payload(msg.begin() + 1, msg.end());
     repost();
     sk->stats.bytes_rx += payload.size();
-    dev_.host().cpu().charge(static_cast<TimeNs>(
-        dev_.host().costs().touch_ns_per_byte *
-        static_cast<double>(payload.size())));
+    dev_.host().cpu().charge(
+        static_cast<TimeNs>(dev_.host().costs().touch_ns_per_byte *
+                            static_cast<double>(payload.size())),
+        {telemetry::CostLayer::kIsock, telemetry::CostActivity::kCopy,
+         payload.size()});
     // Return credits in batches (quarter ring), with a lazy flush so the
     // tail of a transfer cannot strand the sender at zero credits.
     ++sk->pending_credits;
@@ -491,10 +508,22 @@ std::size_t ISockStack::send(int fd, ConstByteSpan data) {
   if (s->tx_credits == 0) return 0;     // peer has no posted buffer for us
   if (s->tx_hold.size() >= s->pool_slots * 4) return 0;  // staging bound
   if (data.size() + 1 > s->slot_bytes) return 0;  // must fit one buffer
+  // Message lifecycle root for the stream path (see sendto()).
+  host::HostCtx& hc = dev_.host().ctx();
+  auto& spans = dev_.host().sim().telemetry().spans();
+  u64 span = hc.active_span;
+  if (span == 0 && spans.enabled())
+    span = spans.begin(telemetry::SpanKind::kIsock, "isock send",
+                       dev_.host().addr(), data.size(),
+                       static_cast<u64>(fd));
+  host::SpanScope span_scope(hc, span);
   // Buffered copy into a staging buffer that stays valid until the send
   // completes (the verbs contract); prefixed with the data tag.
-  dev_.host().cpu().charge(static_cast<TimeNs>(
-      dev_.host().costs().touch_ns_per_byte * static_cast<double>(data.size())));
+  dev_.host().cpu().charge(
+      static_cast<TimeNs>(dev_.host().costs().touch_ns_per_byte *
+                          static_cast<double>(data.size())),
+      {telemetry::CostLayer::kIsock, telemetry::CostActivity::kCopy,
+       data.size()});
   Bytes staged;
   staged.reserve(data.size() + 1);
   staged.push_back(kStreamData);

@@ -5,6 +5,7 @@
 
 #include "hoststack/host.hpp"
 #include "simnet/fabric.hpp"
+#include "telemetry/trace_export.hpp"
 #include "verbs/device.hpp"
 #include "verbs/qp_rc.hpp"
 #include "verbs/qp_ud.hpp"
@@ -194,11 +195,29 @@ struct Rig {
   verbs::MemoryRegion mra_, mrb_;
 };
 
+/// --trace-json support: turn on spans + profiler + trace ring for the
+/// measurement Simulation, and fold everything into the caller's capture
+/// once the run is over.
+void enable_capture(Rig& rig, const Options& opts) {
+  if (!opts.trace) return;
+  auto& reg = rig.sim().telemetry();
+  reg.spans().enable();
+  reg.profiler().enable();
+  reg.trace().enable();
+}
+
+void absorb_capture(Rig& rig, const Options& opts) {
+  if (!opts.trace) return;
+  opts.trace->absorb(rig.sim().telemetry(), {{rig.a_->addr(), "sender"},
+                                             {rig.b_->addr(), "receiver"}});
+}
+
 }  // namespace
 
 LatencyResult measure_latency(Mode mode, std::size_t msg_size, int iterations,
                               const Options& opts) {
   Rig rig(mode, msg_size, opts);
+  enable_capture(rig, opts);
   rig.enable_loss();
 
   const int warmup = 2;
@@ -229,12 +248,14 @@ LatencyResult measure_latency(Mode mode, std::size_t msg_size, int iterations,
   r.iterations = measured;
   r.half_rtt_us = measured > 0 ? total_rtt_us / measured : 0.0;
   if (opts.metrics) opts.metrics->merge_from(rig.sim().telemetry());
+  absorb_capture(rig, opts);
   return r;
 }
 
 BandwidthResult measure_bandwidth(Mode mode, std::size_t msg_size,
                                   std::size_t messages, const Options& opts) {
   Rig rig(mode, msg_size, opts);
+  enable_capture(rig, opts);
 
   // Warm the path (TCP slow start, switch learning) with two messages
   // before loss injection and measurement begin.
@@ -316,6 +337,7 @@ BandwidthResult measure_bandwidth(Mode mode, std::size_t msg_size,
       (static_cast<double>(msg_size) * static_cast<double>(messages));
   r.goodput_MBps = rate_MBps(delivered_bytes, t_end - t0);
   if (opts.metrics) opts.metrics->merge_from(rig.sim().telemetry());
+  absorb_capture(rig, opts);
   return r;
 }
 

@@ -15,6 +15,7 @@
 
 namespace dgiwarp::telemetry {
 class Registry;
+class TraceCapture;
 }
 
 namespace dgiwarp::perf {
@@ -53,6 +54,11 @@ struct Options {
   /// When set, the measurement Simulation's telemetry registry is merged
   /// into this aggregate after the run (bench --metrics-json support).
   telemetry::Registry* metrics = nullptr;
+  /// When set, span tracking, the cost profiler and the trace ring are
+  /// enabled on the measurement Simulation and absorbed into this capture
+  /// after the run (bench --trace-json / --profile-json support). Each
+  /// absorbed run lands on its own stretch of the merged timeline.
+  telemetry::TraceCapture* trace = nullptr;
 };
 
 struct LatencyResult {

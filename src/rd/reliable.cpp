@@ -121,11 +121,14 @@ Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
   wire.resize(at + payload.total_size());
   payload.copy_out(0, ByteSpan{wire}.subspan(at));
 
+  // Capture the ambient lifecycle span: it must survive window queueing and
+  // retransmission, both of which outlive the caller's SpanScope.
+  const u64 span = ctx_.active_span;
   if (tx.unacked.size() >= config_.window) {
-    tx.queued.emplace_back(seq, std::move(wire));
+    tx.queued.push_back(QueuedDgram{seq, std::move(wire), span});
     return Status::Ok();
   }
-  tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0, 0});
+  tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0, 0, span, 0});
   transmit(dst, seq, tx);
   return Status::Ok();
 }
@@ -133,22 +136,42 @@ Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
 void ReliableDatagram::transmit(Endpoint dst, u64 seq, PeerTx& tx) {
   auto it = tx.unacked.find(seq);
   if (it == tx.unacked.end()) return;
-  ctx_.cpu.charge(ctx_.costs.rd_tx_fixed);
+  Pending& p = it->second;
+  auto& spans = ctx_.sim.telemetry().spans();
+  ctx_.cpu.charge(ctx_.costs.rd_tx_fixed,
+                  {telemetry::CostLayer::kRd,
+                   telemetry::CostActivity::kSegment, p.wire.size()});
   ++stats_.data_tx;
-  if (it->second.retries > 0) {
+  if (p.retries > 0) {
     ++stats_.retransmits;
     ctx_.sim.telemetry().trace().record(
         telemetry::TraceKind::kRdRetransmit, seq,
-        static_cast<u64>(it->second.retries));
+        static_cast<u64>(p.retries));
+    // The retransmit-stall interval shows up two ways: a kRetransmit stage
+    // on the message span (phase attribution in its breakdown) and a child
+    // span opened at the first retransmission, closed when the ACK finally
+    // lands (or the sender gives up) — a visible nested slice in the trace.
+    spans.stage(p.span, telemetry::Stage::kRetransmit, seq,
+                static_cast<u64>(p.retries));
+    if (p.rtx_span == 0)
+      p.rtx_span = spans.child(p.span, telemetry::SpanKind::kRetransmit,
+                               "rd retransmit");
+  } else {
+    spans.stage(p.span, telemetry::Stage::kTransportTx, seq, p.wire.size());
   }
-  patch_cum(it->second.wire, cum_for(dst));
+  patch_cum(p.wire, cum_for(dst));
   if (config_.crc)
     ctx_.cpu.charge(static_cast<TimeNs>(
-        ctx_.costs.crc_ns_per_byte *
-        static_cast<double>(it->second.wire.size())));
-  patch_crc(it->second.wire, config_.crc);
-  it->second.sent_at = ctx_.sim.now();
-  (void)socket_.send_to(dst, ConstByteSpan{it->second.wire});
+                        ctx_.costs.crc_ns_per_byte *
+                        static_cast<double>(p.wire.size())),
+                    {telemetry::CostLayer::kRd, telemetry::CostActivity::kCrc,
+                     p.wire.size()});
+  patch_crc(p.wire, config_.crc);
+  p.sent_at = ctx_.sim.now();
+  // The frame always carries the original message span (retransmissions
+  // included) so receive-side stages land on the span that completes.
+  host::SpanScope scope(ctx_, p.span);
+  (void)socket_.send_to(dst, ConstByteSpan{p.wire});
   arm_timer(dst, seq);
 }
 
@@ -196,6 +219,11 @@ void ReliableDatagram::on_timeout(Endpoint dst, u64 seq, u64 gen) {
     ++stats_.give_ups;
     ctx_.sim.telemetry().trace().record(telemetry::TraceKind::kRdGiveUp, seq,
                                         static_cast<u64>(dst.port));
+    auto& spans = ctx_.sim.telemetry().spans();
+    spans.stage(p->second.span, telemetry::Stage::kGiveUp, seq,
+                static_cast<u64>(p->second.retries));
+    if (p->second.rtx_span) spans.end(p->second.rtx_span, /*completed=*/false);
+    spans.end(p->second.span, /*completed=*/false);
     tx.unacked.erase(p);
     DGI_WARN("rd", "giving up on seq %llu to %u:%u",
              static_cast<unsigned long long>(seq), dst.ip, dst.port);
@@ -239,13 +267,18 @@ void ReliableDatagram::ack_one(Endpoint src, PeerTx& tx, u64 seq,
   // Karn's rule: only never-retransmitted packets produce RTT samples.
   if (rtt_eligible && it->second.retries == 0)
     update_rtt(tx, ctx_.sim.now() - it->second.sent_at);
+  // The retransmit episode (if any) ends when the ACK finally lands.
+  if (it->second.rtx_span)
+    ctx_.sim.telemetry().spans().end(it->second.rtx_span, /*completed=*/true);
   tx.unacked.erase(it);
   (void)src;
 }
 
 void ReliableDatagram::on_ack(Endpoint src, u64 seq, u64 cum) {
   ++stats_.acks_rx;
-  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed,
+                  {telemetry::CostLayer::kRd, telemetry::CostActivity::kAck,
+                   0});
   auto peer = tx_.find(src);
   if (peer == tx_.end()) return;
   PeerTx& tx = peer->second;
@@ -287,7 +320,13 @@ u64 ReliableDatagram::cum_for(Endpoint peer) const {
 }
 
 void ReliableDatagram::send_ack(Endpoint dst, u64 seq) {
-  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed,
+                  {telemetry::CostLayer::kRd, telemetry::CostActivity::kAck,
+                   0});
+  // Pure-ACK packets must not carry the data span of whatever delivery
+  // scope they were sent from — that would thread a forward span through a
+  // reverse-direction frame.
+  host::SpanScope scope(ctx_, 0);
   Bytes wire;
   WireWriter w(wire);
   w.u8be(kTypeAck);
@@ -304,9 +343,12 @@ void ReliableDatagram::send_gap_skip(Endpoint dst, PeerTx& tx) {
   u64 base = tx.next_seq;
   if (!tx.unacked.empty())
     base = std::min(base, tx.unacked.begin()->first);
-  if (!tx.queued.empty()) base = std::min(base, tx.queued.front().first);
+  if (!tx.queued.empty()) base = std::min(base, tx.queued.front().seq);
 
-  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+  ctx_.cpu.charge(ctx_.costs.rd_ack_fixed,
+                  {telemetry::CostLayer::kRd, telemetry::CostActivity::kAck,
+                   0});
+  host::SpanScope scope(ctx_, 0);  // control packet: no data span (see send_ack)
   Bytes wire;
   WireWriter w(wire);
   w.u8be(kTypeGapSkip);
@@ -322,10 +364,10 @@ void ReliableDatagram::send_gap_skip(Endpoint dst, PeerTx& tx) {
 
 void ReliableDatagram::pump_queue(Endpoint dst, PeerTx& tx) {
   while (!tx.queued.empty() && tx.unacked.size() < config_.window) {
-    auto [seq, wire] = std::move(tx.queued.front());
+    QueuedDgram q = std::move(tx.queued.front());
     tx.queued.pop_front();
-    tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0, 0});
-    transmit(dst, seq, tx);
+    tx.unacked.emplace(q.seq, Pending{std::move(q.wire), 0, 0, 0, q.span, 0});
+    transmit(dst, q.seq, tx);
   }
 }
 
@@ -338,16 +380,21 @@ void ReliableDatagram::on_raw(Endpoint src, Bytes data, bool tainted) {
       // that recovers loss recovers corruption.
       ++stats_.crc_drops;
       if (config_.crc)
-        ctx_.cpu.charge(static_cast<TimeNs>(
-            ctx_.costs.crc_ns_per_byte * static_cast<double>(data.size())));
+        ctx_.cpu.charge(
+            static_cast<TimeNs>(ctx_.costs.crc_ns_per_byte *
+                                static_cast<double>(data.size())),
+            {telemetry::CostLayer::kRd, telemetry::CostActivity::kCrc,
+             data.size()});
     } else {
       ++stats_.parse_rejects;
     }
     return;
   }
   if (config_.crc)
-    ctx_.cpu.charge(static_cast<TimeNs>(
-        ctx_.costs.crc_ns_per_byte * static_cast<double>(data.size())));
+    ctx_.cpu.charge(static_cast<TimeNs>(ctx_.costs.crc_ns_per_byte *
+                                        static_cast<double>(data.size())),
+                    {telemetry::CostLayer::kRd, telemetry::CostActivity::kCrc,
+                     data.size()});
   // Taint accepted with no CRC vouching for the packet: with CRC off every
   // corrupted packet lands here. With CRC on a passing check proves the
   // packet bytes are intact, so the taint is not an escape.
@@ -362,7 +409,9 @@ void ReliableDatagram::on_raw(Endpoint src, Bytes data, bool tainted) {
       on_ack(src, seq, cum);
       return;
     case kTypeGapSkip:
-      ctx_.cpu.charge(ctx_.costs.rd_ack_fixed);
+      ctx_.cpu.charge(ctx_.costs.rd_ack_fixed,
+                      {telemetry::CostLayer::kRd,
+                       telemetry::CostActivity::kAck, 0});
       on_gap_skip(src, seq);
       return;
     case kTypeData: {
@@ -389,8 +438,14 @@ void ReliableDatagram::on_raw(Endpoint src, Bytes data, bool tainted) {
 
 void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body,
                                bool tainted) {
-  ctx_.cpu.charge(ctx_.costs.rd_rx_fixed);
+  ctx_.cpu.charge(ctx_.costs.rd_rx_fixed,
+                  {telemetry::CostLayer::kRd,
+                   telemetry::CostActivity::kDeliver, body.size()});
   ++stats_.data_rx;
+  // The ambient span was re-established from the carrying frame by the UDP
+  // delivery closure; record RD receive processing against it.
+  ctx_.sim.telemetry().spans().stage(
+      ctx_.active_span, telemetry::Stage::kTransportRx, seq, body.size());
 
   PeerRx& rx = rx_[src];
 
@@ -433,8 +488,9 @@ void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body,
       ++stats_.rx_ooo_drops;
       return;
     }
-    auto [it, inserted] =
-        rx.ooo.emplace(seq, OooDgram{Bytes(body.begin(), body.end()), tainted});
+    auto [it, inserted] = rx.ooo.emplace(
+        seq,
+        OooDgram{Bytes(body.begin(), body.end()), tainted, ctx_.active_span});
     if (inserted) account_ooo(rx, static_cast<i64>(it->second.data.size()));
     arm_gap_timer(src);
     send_ack(src, seq);
@@ -453,10 +509,16 @@ void ReliableDatagram::deliver_in_order(Endpoint src, PeerRx& rx) {
     if (it == rx.ooo.end()) break;
     Bytes payload = std::move(it->second.data);
     const bool tainted = it->second.tainted;
+    const u64 span = it->second.span;
     account_ooo(rx, -static_cast<i64>(payload.size()));
     rx.ooo.erase(it);
     ++rx.next_expected;
-    if (handler_) handler_(src, std::move(payload), tainted);
+    if (handler_) {
+      // Re-establish the span the datagram arrived under: the reorder
+      // buffer drain runs inside the unblocking datagram's scope.
+      host::SpanScope scope(ctx_, span);
+      handler_(src, std::move(payload), tainted);
+    }
   }
 }
 
@@ -487,9 +549,13 @@ void ReliableDatagram::skip_to(Endpoint src, PeerRx& rx, u64 base) {
       if (it != rx.ooo.end()) {
         Bytes payload = std::move(it->second.data);
         const bool tainted = it->second.tainted;
+        const u64 span = it->second.span;
         account_ooo(rx, -static_cast<i64>(payload.size()));
         rx.ooo.erase(it);
-        if (handler_) handler_(src, std::move(payload), tainted);
+        if (handler_) {
+          host::SpanScope scope(ctx_, span);
+          handler_(src, std::move(payload), tainted);
+        }
       } else {
         if (missing == 0) first_missing = rx.next_expected;
         ++missing;

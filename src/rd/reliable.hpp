@@ -139,11 +139,18 @@ class ReliableDatagram {
     int retries = 0;
     u64 timer_gen = 0;
     TimeNs sent_at = 0;  // last (re)transmission time, for RTT sampling
+    u64 span = 0;      // lifecycle span of the originating message
+    u64 rtx_span = 0;  // open retransmit child span (0 when none)
+  };
+  struct QueuedDgram {
+    u64 seq = 0;
+    Bytes wire;
+    u64 span = 0;  // lifecycle span captured at send_to time
   };
   struct PeerTx {
     u64 next_seq = 1;
     std::map<u64, Pending> unacked;
-    std::deque<std::pair<u64, Bytes>> queued;  // waiting for window space
+    std::deque<QueuedDgram> queued;  // waiting for window space
     // RFC 6298-style estimator state (all 0 until the first sample).
     TimeNs srtt = 0;
     TimeNs rttvar = 0;
@@ -155,6 +162,7 @@ class ReliableDatagram {
   struct OooDgram {
     Bytes data;
     bool tainted = false;
+    u64 span = 0;  // lifecycle span from the carrying packet
   };
   struct PeerRx {
     u64 next_expected = 1;   // ordered mode cursor

@@ -34,6 +34,30 @@ class CpuModel {
   void charge_then(TimeNs cost, Simulation::Task done);
   void charge_kernel_then(TimeNs cost, Simulation::Task done);
 
+  /// CostSite-tagged variants: identical timing (the tag only feeds the
+  /// cost-attribution profiler, telemetry/profiler.hpp, and profiling off
+  /// is one predictable branch inside record()). Splitting one combined
+  /// charge into several tagged ones is timing-neutral too — sequential
+  /// charges on a lane are additive.
+  TimeNs charge(TimeNs cost, const telemetry::CostSite& site) {
+    profile(site, cost);
+    return charge(cost);
+  }
+  TimeNs charge_kernel(TimeNs cost, const telemetry::CostSite& site) {
+    profile(site, cost);
+    return charge_kernel(cost);
+  }
+  void charge_then(TimeNs cost, const telemetry::CostSite& site,
+                   Simulation::Task done) {
+    profile(site, cost);
+    charge_then(cost, std::move(done));
+  }
+  void charge_kernel_then(TimeNs cost, const telemetry::CostSite& site,
+                          Simulation::Task done) {
+    profile(site, cost);
+    charge_kernel_then(cost, std::move(done));
+  }
+
   TimeNs free_at() const { return user_free_at_; }
   TimeNs kernel_free_at() const { return kernel_free_at_; }
   TimeNs busy_total() const { return busy_total_; }
@@ -42,6 +66,10 @@ class CpuModel {
   double utilisation() const;
 
  private:
+  void profile(const telemetry::CostSite& site, TimeNs cost) {
+    sim_.telemetry().profiler().record(site, cost);
+  }
+
   Simulation& sim_;
   TimeNs user_free_at_ = 0;
   TimeNs kernel_free_at_ = 0;

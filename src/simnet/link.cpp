@@ -32,15 +32,26 @@ void Link::transmit(Frame f) {
   busy_until_ = tx_done;
 
   auto& reg = sim_.telemetry();
+  auto& spans = reg.spans();
   if (start > sim_.now()) {
     ++stats_.frames_queued;
     reg.gauge("simnet.link.queue_wait_ns").set(
         static_cast<double>(start - sim_.now()));
+    // Queue-depth sampling rides the span switch: per-frame histogram
+    // samples only accumulate while someone is watching lifecycles.
+    if (spans.enabled())
+      reg.histogram("simnet.link.queue_wait_hist_ns")
+          .add(static_cast<double>(start - sim_.now()));
   }
+  // Serialization onto the wire begins at `start` — stamped explicitly so
+  // the span's queueing phase is exact even though transmit() runs now.
+  if (f.span) spans.stage_at(f.span, telemetry::Stage::kWireTx, start, f.id);
 
   if (faults_.loss && faults_.loss->should_drop(rng_, sim_.now())) {
     ++stats_.frames_dropped;
     reg.trace().record(telemetry::TraceKind::kLinkDrop, f.id, f.wire_bytes());
+    if (f.span)
+      spans.stage_at(f.span, telemetry::Stage::kDropped, tx_done, f.id);
     DGI_TRACE("link", "%s dropped frame id=%llu (%zu B)", name_.c_str(),
               static_cast<unsigned long long>(f.id), f.payload.size());
     return;  // the wire time is still consumed; the bits just die
@@ -78,6 +89,9 @@ void Link::transmit(Frame f) {
   sim_.at(arrive, [this, fr = std::move(f)]() mutable {
     ++stats_.frames_delivered;
     stats_.bytes_delivered += fr.payload.size();
+    if (fr.span)
+      sim_.telemetry().spans().stage(fr.span, telemetry::Stage::kWireRx,
+                                     fr.id);
     if (rx_) rx_(std::move(fr));
   });
 }

@@ -23,10 +23,13 @@ class Nic {
   void attach_tx(Link* tx) { tx_ = tx; }
 
   /// Mirror frame counters into `reg` (simnet.nic.*). Called by the fabric
-  /// builder right after construction.
+  /// builder right after construction. Also makes `reg` the frame-id
+  /// allocator (per-Simulation ids keep exported traces deterministic
+  /// within one process) and the span sink for kNicTx stage marks.
   void bind_telemetry(telemetry::Registry& reg) {
     tx_frames_.bind(reg.counter("simnet.nic.tx_frames"));
     rx_frames_.bind(reg.counter("simnet.nic.rx_frames"));
+    reg_ = &reg;
   }
 
   void set_rx_handler(RxHandler h) { rx_ = std::move(h); }
@@ -47,6 +50,8 @@ class Nic {
   RxHandler rx_;
   telemetry::Metric tx_frames_;
   telemetry::Metric rx_frames_;
+  telemetry::Registry* reg_ = nullptr;
+  // Fallback allocator for NICs never bound to a Registry (unit tests).
   inline static u64 next_frame_id_ = 1;
 };
 

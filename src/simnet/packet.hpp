@@ -22,6 +22,11 @@ struct Frame {
   u16 proto = 0;  // ethertype-like demux key (kProtoIpv4 in practice)
   Bytes payload;
   u64 id = 0;  // unique id for tracing / loss diagnostics
+  // Message-lifecycle span carrying this frame (telemetry/span.hpp); 0 when
+  // span tracking is off or the frame is transport control (pure ACKs).
+  // Purely observational — never consulted by protocol logic and not part
+  // of any wire format.
+  u64 span = 0;
   // Set by Link when a CorruptionModel damaged the payload in flight. The
   // taint rides the frame through the switch and up the receive stack so
   // layers can count silent escapes when their CRC/checksum is disabled;

@@ -47,7 +47,13 @@ void append_u64(std::string& out, u64 v) {
 
 }  // namespace
 
-Registry::Registry() { trace_.set_clock(&now_); }
+Registry::Registry() {
+  // Wire every time-stamping member to the mirrored virtual clock before
+  // anything can record: sinks enabled prior to Simulation wiring still
+  // stamp real timestamps once events execute.
+  trace_.set_clock(&now_);
+  spans_.set_clock(&now_);
+}
 
 u64 Registry::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
@@ -78,6 +84,10 @@ void Registry::merge_from(const Registry& other) {
   if (trace_.enabled()) {
     for (const TraceEvent& e : other.trace_.snapshot()) trace_.push(e);
   }
+  // Profiler buckets add like counters. Spans are NOT merged here: their
+  // timestamps are per-Simulation virtual times, so cross-run aggregation
+  // needs the offset bookkeeping TraceCapture (trace_export.hpp) does.
+  profiler_.merge_from(other.profiler_);
   if (other.now_ > now_) now_ = other.now_;
 }
 
@@ -158,6 +168,14 @@ std::string Registry::to_json() const {
     out += '}';
   }
   out += first ? "]}" : "\n  ]}";
+
+  out += ",\n  \"profile\": {\"enabled\": ";
+  out += profiler_.enabled() ? "true" : "false";
+  out += ", \"total_ns\": ";
+  append_u64(out, profiler_.total_ns());
+  out += ", \"buckets\": ";
+  out += profiler_.to_json();
+  out += "}";
   out += "\n}\n";
   return out;
 }

@@ -22,6 +22,8 @@
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 
 namespace dgiwarp::telemetry {
@@ -136,6 +138,22 @@ class Registry {
   TraceRing& trace() { return trace_; }
   const TraceRing& trace() const { return trace_; }
 
+  /// Message-lifecycle spans (span.hpp). Clock-wired by the constructor
+  /// exactly like the trace ring; disabled by default.
+  SpanTracker& spans() { return spans_; }
+  const SpanTracker& spans() const { return spans_; }
+
+  /// Cost-attribution profiler (profiler.hpp): fed by the CostSite-tagged
+  /// CpuModel charge overloads; disabled by default.
+  CostProfiler& profiler() { return profiler_; }
+  const CostProfiler& profiler() const { return profiler_; }
+
+  /// Per-Simulation frame-id allocator (used by sim::Nic once telemetry is
+  /// bound). Scoping ids to the Simulation — instead of a process-global
+  /// counter — keeps exported traces byte-identical across same-seed runs
+  /// inside one process.
+  u64 alloc_frame_id() { return next_frame_id_++; }
+
   /// Virtual-clock mirror. Advanced by the owning Simulation as events
   /// execute; trace events are stamped from it so instrumented layers never
   /// call Simulation::now() themselves.
@@ -158,6 +176,9 @@ class Registry {
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
   TraceRing trace_;
+  SpanTracker spans_;
+  CostProfiler profiler_;
+  u64 next_frame_id_ = 1;
   TimeNs now_ = 0;
 };
 

@@ -1,0 +1,183 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+
+namespace dgiwarp::telemetry {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kPostSend: return "post_send";
+    case Stage::kSegmentTx: return "segment_tx";
+    case Stage::kTransportTx: return "transport_tx";
+    case Stage::kNicTx: return "nic_tx";
+    case Stage::kWireTx: return "wire_tx";
+    case Stage::kWireRx: return "wire_rx";
+    case Stage::kDropped: return "dropped";
+    case Stage::kRetransmit: return "retransmit";
+    case Stage::kRxWakeup: return "rx_wakeup";
+    case Stage::kRxDeliver: return "rx_deliver";
+    case Stage::kTransportRx: return "transport_rx";
+    case Stage::kSegmentRx: return "segment_rx";
+    case Stage::kRecvMatch: return "recv_match";
+    case Stage::kPlacement: return "placement";
+    case Stage::kCqComplete: return "cq_complete";
+    case Stage::kGiveUp: return "give_up";
+  }
+  return "?";
+}
+
+const char* span_phase_name(SpanPhase p) {
+  switch (p) {
+    case SpanPhase::kStackTx: return "stack-tx";
+    case SpanPhase::kQueueing: return "queueing";
+    case SpanPhase::kWire: return "wire";
+    case SpanPhase::kRetransmitStall: return "retransmit-stall";
+    case SpanPhase::kWakeup: return "wakeup";
+    case SpanPhase::kStackRx: return "stack-rx";
+  }
+  return "?";
+}
+
+SpanPhase phase_of(Stage s) {
+  switch (s) {
+    case Stage::kPostSend:
+    case Stage::kSegmentTx:
+    case Stage::kNicTx:
+      return SpanPhase::kStackTx;
+    // Time ending at transport acceptance is window/admission wait; time
+    // ending at serialization start is NIC/link queue wait.
+    case Stage::kTransportTx:
+    case Stage::kWireTx:
+      return SpanPhase::kQueueing;
+    case Stage::kWireRx:
+    case Stage::kDropped:
+      return SpanPhase::kWire;
+    case Stage::kRetransmit:
+    case Stage::kGiveUp:
+      return SpanPhase::kRetransmitStall;
+    case Stage::kRxWakeup:
+      return SpanPhase::kWakeup;
+    case Stage::kRxDeliver:
+    case Stage::kTransportRx:
+    case Stage::kSegmentRx:
+    case Stage::kRecvMatch:
+    case Stage::kPlacement:
+    case Stage::kCqComplete:
+      return SpanPhase::kStackRx;
+  }
+  return SpanPhase::kStackTx;
+}
+
+SpanBreakdown breakdown(const Span& s) {
+  SpanBreakdown out;
+  const TimeNs end = s.ended ? s.end : s.start;
+  if (end <= s.start) return out;
+
+  // Stages sorted by timestamp; ties keep recording order (stable), which
+  // preserves the causal order of same-event stages.
+  std::vector<StageRecord> stages = s.stages;
+  std::stable_sort(stages.begin(), stages.end(),
+                   [](const StageRecord& a, const StageRecord& b) {
+                     return a.t < b.t;
+                   });
+
+  TimeNs prev = s.start;
+  for (const StageRecord& r : stages) {
+    const TimeNs t = std::clamp(r.t, prev, end);
+    out.phase_ns[static_cast<u8>(phase_of(r.stage))] += t - prev;
+    prev = t;
+  }
+  // Residual between the last stage and the recorded end (usually 0: the
+  // ending kCqComplete stage is stamped at the same event as end()).
+  out.phase_ns[static_cast<u8>(SpanPhase::kStackRx)] += end - prev;
+  return out;
+}
+
+void SpanTracker::enable(std::size_t max_finished) {
+  enabled_ = true;
+  max_finished_ = max_finished;
+  live_.clear();
+  finished_.clear();
+  finished_dropped_ = 0;
+}
+
+u64 SpanTracker::begin(SpanKind kind, const char* label, u32 origin,
+                       u64 bytes, u64 a) {
+  if (!enabled_) return 0;
+  const u64 id = next_id_++;
+  ++started_;
+  Span s;
+  s.id = id;
+  s.kind = kind;
+  s.label = label;
+  s.origin = origin;
+  s.bytes = bytes;
+  s.start = clock_ ? *clock_ : 0;
+  s.stages.push_back(StageRecord{Stage::kPostSend, s.start, a, bytes});
+  live_.emplace(id, std::move(s));
+  return id;
+}
+
+u64 SpanTracker::child(u64 parent, SpanKind kind, const char* label) {
+  if (!enabled_ || parent == 0) return 0;
+  const auto it = live_.find(parent);
+  if (it == live_.end()) return 0;
+  const u64 id = next_id_++;
+  ++started_;
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.kind = kind;
+  s.label = label;
+  s.origin = it->second.origin;
+  s.start = clock_ ? *clock_ : 0;
+  live_.emplace(id, std::move(s));
+  return id;
+}
+
+void SpanTracker::stage_at(u64 id, Stage s, TimeNs t, u64 a, u64 b) {
+  if (id == 0 || !enabled_) return;
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;  // unknown or already ended
+  it->second.stages.push_back(StageRecord{s, t, a, b});
+}
+
+void SpanTracker::end(u64 id, bool completed) {
+  if (id == 0 || !enabled_) return;
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  Span& s = it->second;
+  s.end = clock_ ? *clock_ : 0;
+  s.ended = true;
+  s.completed = completed;
+  if (finished_.size() < max_finished_) {
+    finished_.push_back(std::move(s));
+  } else {
+    ++finished_dropped_;
+  }
+  live_.erase(it);
+}
+
+std::vector<Span> SpanTracker::take_all() {
+  std::vector<Span> out = std::move(finished_);
+  finished_.clear();
+  // Live spans drain in id order for determinism (unordered_map iteration
+  // order is not).
+  std::vector<u64> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, s] : live_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (u64 id : ids) out.push_back(std::move(live_[id]));
+  live_.clear();
+  return out;
+}
+
+const Span* SpanTracker::find(u64 id) const {
+  const auto it = live_.find(id);
+  if (it != live_.end()) return &it->second;
+  for (const Span& s : finished_)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+}  // namespace dgiwarp::telemetry

@@ -39,6 +39,14 @@ enum class TraceKind : u8 {
   kIsockDropNoSlot,       // a = source port, b = datagram bytes
 };
 
+/// Keep in sync with TraceKind: one past the last enumerator. This is a
+/// separate constant rather than a trailing kCount enumerator so that
+/// exhaustive switches over TraceKind (trace_kind_name) stay
+/// -Wswitch-clean; the exhaustiveness test in telemetry_test.cpp asserts
+/// that casting kTraceKindCount itself yields the "?" fallback, which
+/// forces this constant to track the enum.
+inline constexpr u8 kTraceKindCount = 16;
+
 const char* trace_kind_name(TraceKind k);
 
 struct TraceEvent {
@@ -60,6 +68,15 @@ concept TraceSinkLike = requires(S s, TraceKind k, u64 v) {
 /// length. Timestamps come from the clock pointer wired by the owning
 /// Registry (mirrored from the Simulation), so instrumented layers never
 /// re-read Simulation::now().
+///
+/// Clock wiring: a ring obtained through Registry::trace() ALWAYS has the
+/// clock wired — the Registry constructor points it at the registry's
+/// mirrored virtual clock before anything can record, so a sink enabled
+/// before the Simulation is even constructed still stamps real timestamps
+/// once events execute (tested in telemetry_test.cpp). Only a standalone,
+/// hand-constructed TraceRing has a null clock, and then record() stamps 0
+/// by design (there is no time source to consult); set_clock is private to
+/// Registry precisely so standalone rings cannot be half-wired.
 class TraceRing {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;

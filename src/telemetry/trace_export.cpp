@@ -1,0 +1,533 @@
+#include "telemetry/trace_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dgiwarp::telemetry {
+
+namespace {
+
+void append_ts_us(std::string& out, TimeNs t) {
+  // Microseconds with nanosecond precision, integer math only: the same
+  // virtual time always prints the same bytes.
+  const u64 ns = static_cast<u64>(t);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+void append_u64(std::string& out, u64 v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// One rendered trace event, kept with its virtual-time key so the final
+/// document can be stably sorted into global ts order.
+struct Rendered {
+  TimeNs ts;
+  std::string json;
+};
+
+void emit(std::vector<Rendered>& out, TimeNs ts, std::string json) {
+  out.push_back(Rendered{ts, std::move(json)});
+}
+
+std::string event_json(const char* ph, TimeNs ts, u64 pid, u64 tid,
+                       std::string_view name, const char* cat,
+                       std::string_view extra) {
+  std::string e = "{\"ph\":\"";
+  e += ph;
+  e += "\",\"ts\":";
+  append_ts_us(e, ts);
+  e += ",\"pid\":";
+  append_u64(e, pid);
+  e += ",\"tid\":";
+  append_u64(e, tid);
+  if (!name.empty()) {
+    e += ",\"name\":\"";
+    append_escaped(e, name);
+    e += '"';
+  }
+  if (cat) {
+    e += ",\"cat\":\"";
+    e += cat;
+    e += '"';
+  }
+  if (!extra.empty()) {
+    e += ',';
+    e += extra;
+  }
+  e += '}';
+  return e;
+}
+
+/// Merged per-phase intervals of an ended span, in time order.
+struct PhaseSlice {
+  SpanPhase phase;
+  TimeNs from, to;
+};
+
+std::vector<PhaseSlice> phase_slices(const Span& s) {
+  std::vector<StageRecord> stages = s.stages;
+  std::stable_sort(stages.begin(), stages.end(),
+                   [](const StageRecord& a, const StageRecord& b) {
+                     return a.t < b.t;
+                   });
+  std::vector<PhaseSlice> out;
+  TimeNs prev = s.start;
+  auto add = [&out](SpanPhase p, TimeNs from, TimeNs to) {
+    if (to <= from) return;
+    if (!out.empty() && out.back().phase == p && out.back().to == from) {
+      out.back().to = to;  // merge adjacent same-phase intervals
+    } else {
+      out.push_back(PhaseSlice{p, from, to});
+    }
+  };
+  for (const StageRecord& r : stages) {
+    const TimeNs t = std::clamp(r.t, prev, s.end);
+    add(phase_of(r.stage), prev, t);
+    prev = t;
+  }
+  add(SpanPhase::kStackRx, prev, s.end);
+  return out;
+}
+
+}  // namespace
+
+void TraceCapture::absorb(
+    Registry& reg, const std::vector<std::pair<u32, std::string>>& nodes) {
+  for (const auto& [addr, name] : nodes) nodes_[addr] = name;
+
+  u64 max_id = id_offset_;
+  for (Span s : reg.spans().take_all()) {
+    s.id += id_offset_;
+    if (s.parent != 0) s.parent += id_offset_;
+    s.start += time_offset_;
+    if (s.ended) s.end += time_offset_;
+    for (StageRecord& r : s.stages) r.t += time_offset_;
+    max_id = std::max(max_id, s.id);
+    spans_.push_back(std::move(s));
+  }
+  for (TraceEvent e : reg.trace().snapshot()) {
+    e.t += time_offset_;
+    events_.push_back(e);
+  }
+  profiler_.merge_from(reg.profiler());
+
+  id_offset_ = max_id;
+  time_offset_ += reg.now() + kRunGapNs;
+  ++runs_;
+}
+
+std::string TraceCapture::trace_event_json() const {
+  std::vector<Rendered> ev;
+  ev.reserve(spans_.size() * 8 + events_.size() + nodes_.size() + 1);
+
+  // Process metadata: one pid per simulated node, plus pid 0 for the
+  // global trace-ring events.
+  std::map<u32, std::string> names = nodes_;
+  for (const Span& s : spans_)
+    if (!names.contains(s.origin)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "node-%u", s.origin);
+      names[s.origin] = buf;
+    }
+  if (!events_.empty()) names.try_emplace(0, "events");
+  for (const auto& [addr, name] : names) {
+    std::string extra = "\"args\":{\"name\":\"";
+    append_escaped(extra, name);
+    extra += "\"}";
+    emit(ev, 0, event_json("M", 0, addr, 0, "process_name", nullptr, extra));
+  }
+
+  for (const Span& s : spans_) {
+    const std::string_view label =
+        (s.label && *s.label) ? std::string_view(s.label) : "span";
+    if (!s.ended) {
+      std::string extra = "\"s\":\"p\",\"args\":{\"span\":";
+      append_u64(extra, s.id);
+      extra += ",\"bytes\":";
+      append_u64(extra, s.bytes);
+      extra += "}";
+      std::string name = "incomplete: ";
+      name += label;
+      emit(ev, s.start,
+           event_json("i", s.start, s.origin, s.id, name, "span", extra));
+      continue;
+    }
+    {
+      std::string extra = "\"args\":{\"span\":";
+      append_u64(extra, s.id);
+      extra += ",\"parent\":";
+      append_u64(extra, s.parent);
+      extra += ",\"bytes\":";
+      append_u64(extra, s.bytes);
+      extra += ",\"completed\":";
+      extra += s.completed ? "true" : "false";
+      extra += "}";
+      emit(ev, s.start,
+           event_json("B", s.start, s.origin, s.id, label, "span", extra));
+    }
+    for (const PhaseSlice& p : phase_slices(s)) {
+      emit(ev, p.from,
+           event_json("B", p.from, s.origin, s.id, span_phase_name(p.phase),
+                      "phase", {}));
+      emit(ev, p.to,
+           event_json("E", p.to, s.origin, s.id, span_phase_name(p.phase),
+                      "phase", {}));
+    }
+    for (const StageRecord& r : s.stages) {
+      if (r.stage != Stage::kRetransmit && r.stage != Stage::kDropped &&
+          r.stage != Stage::kGiveUp)
+        continue;
+      std::string extra = "\"s\":\"t\",\"args\":{\"a\":";
+      append_u64(extra, r.a);
+      extra += ",\"b\":";
+      append_u64(extra, r.b);
+      extra += "}";
+      const TimeNs t = std::clamp(r.t, s.start, s.end);
+      emit(ev, t,
+           event_json("i", t, s.origin, s.id, stage_name(r.stage), "stage",
+                      extra));
+    }
+    emit(ev, s.end, event_json("E", s.end, s.origin, s.id, label, "span", {}));
+  }
+
+  for (const TraceEvent& e : events_) {
+    std::string extra = "\"s\":\"g\",\"args\":{\"a\":";
+    append_u64(extra, e.a);
+    extra += ",\"b\":";
+    append_u64(extra, e.b);
+    extra += "}";
+    emit(ev, e.t,
+         event_json("i", e.t, 0, 0, trace_kind_name(e.kind), "trace", extra));
+  }
+
+  // Global ts order; stable, so same-ts events keep emission order and
+  // B/E nesting survives the sort.
+  std::stable_sort(ev.begin(), ev.end(),
+                   [](const Rendered& a, const Rendered& b) {
+                     return a.ts < b.ts;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    out += ev[i].json;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceCapture::profile_json() const {
+  TimeNs phase_ns[kSpanPhaseCount] = {};
+  u64 completed = 0, incomplete = 0;
+  for (const Span& s : spans_) {
+    if (!s.ended) {
+      ++incomplete;
+      continue;
+    }
+    ++completed;
+    const SpanBreakdown b = breakdown(s);
+    for (u8 p = 0; p < kSpanPhaseCount; ++p) phase_ns[p] += b.phase_ns[p];
+  }
+
+  std::string out = "{\n  \"schema\": \"dgiwarp.profile.v1\",\n  \"runs\": ";
+  append_u64(out, runs_);
+  out += ",\n  \"spans\": {\"completed\": ";
+  append_u64(out, completed);
+  out += ", \"incomplete\": ";
+  append_u64(out, incomplete);
+  out += "},\n  \"phase_ns\": {";
+  for (u8 p = 0; p < kSpanPhaseCount; ++p) {
+    out += p ? ", " : "";
+    out += '"';
+    out += span_phase_name(static_cast<SpanPhase>(p));
+    out += "\": ";
+    append_u64(out, static_cast<u64>(phase_ns[p]));
+  }
+  out += "},\n  \"cost_total_ns\": ";
+  append_u64(out, profiler_.total_ns());
+  out += ",\n  \"cost_buckets\": ";
+  out += profiler_.to_json();
+  out += "\n}\n";
+  return out;
+}
+
+namespace {
+
+Status write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status(Errc::kNotFound, "cannot open " + path);
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (n != body.size())
+    return Status(Errc::kResourceExhausted, "short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status TraceCapture::write_trace(const std::string& path) const {
+  return write_file(path, trace_event_json());
+}
+
+Status TraceCapture::write_profile(const std::string& path) const {
+  return write_file(path, profile_json());
+}
+
+// ---------------------------------------------------------------------------
+// trace_event schema validation: a tiny recursive-descent JSON parser (no
+// external dependency) plus the semantic checks the satellite defines.
+
+namespace {
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t i = 0;
+  std::string err;
+
+  bool fail(const std::string& m) {
+    if (err.empty()) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " at offset %zu", i);
+      err = m + buf;
+    }
+    return false;
+  }
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool expect(char c) {
+    ws();
+    if (i >= s.size() || s[i] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++i;
+    return true;
+  }
+  bool peek_is(char c) {
+    ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    std::string v;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return fail("truncated escape");
+        char e = s[i++];
+        switch (e) {
+          case '"': v += '"'; break;
+          case '\\': v += '\\'; break;
+          case '/': v += '/'; break;
+          case 'n': v += '\n'; break;
+          case 't': v += '\t'; break;
+          case 'r': v += '\r'; break;
+          case 'b': case 'f': break;
+          case 'u':
+            if (i + 4 > s.size()) return fail("truncated \\u escape");
+            i += 4;
+            v += '?';
+            break;
+          default: return fail("bad escape");
+        }
+      } else {
+        v += c;
+      }
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;  // closing quote
+    if (out) *out = std::move(v);
+    return true;
+  }
+
+  bool parse_number(double* out) {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    bool digits = false;
+    while (i < s.size() &&
+           ((s[i] >= '0' && s[i] <= '9') || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E' || s[i] == '-' || s[i] == '+'))
+      digits = true, ++i;
+    if (!digits) return fail("expected number");
+    if (out) *out = std::strtod(std::string(s.substr(start, i - start)).c_str(),
+                                nullptr);
+    return true;
+  }
+
+  bool skip_value() {
+    ws();
+    if (i >= s.size()) return fail("unexpected end");
+    const char c = s[i];
+    if (c == '"') return parse_string(nullptr);
+    if (c == '{') {
+      ++i;
+      if (peek_is('}')) return expect('}');
+      while (true) {
+        if (!parse_string(nullptr) || !expect(':') || !skip_value())
+          return false;
+        if (peek_is(',')) { ++i; continue; }
+        return expect('}');
+      }
+    }
+    if (c == '[') {
+      ++i;
+      if (peek_is(']')) return expect(']');
+      while (true) {
+        if (!skip_value()) return false;
+        if (peek_is(',')) { ++i; continue; }
+        return expect(']');
+      }
+    }
+    if (s.compare(i, 4, "true") == 0) { i += 4; return true; }
+    if (s.compare(i, 5, "false") == 0) { i += 5; return true; }
+    if (s.compare(i, 4, "null") == 0) { i += 4; return true; }
+    return parse_number(nullptr);
+  }
+};
+
+struct ParsedEvent {
+  std::string ph, name;
+  double ts = 0;
+  double pid = 0, tid = 0;
+  bool has_ph = false, has_ts = false, has_pid = false, has_tid = false;
+};
+
+bool parse_event(JsonParser& p, ParsedEvent* ev) {
+  if (!p.expect('{')) return false;
+  if (p.peek_is('}')) return p.expect('}');
+  while (true) {
+    std::string key;
+    if (!p.parse_string(&key) || !p.expect(':')) return false;
+    if (key == "ph") {
+      if (!p.parse_string(&ev->ph)) return false;
+      ev->has_ph = true;
+    } else if (key == "name") {
+      if (!p.parse_string(&ev->name)) return false;
+    } else if (key == "ts") {
+      if (!p.parse_number(&ev->ts)) return false;
+      ev->has_ts = true;
+    } else if (key == "pid") {
+      if (!p.parse_number(&ev->pid)) return false;
+      ev->has_pid = true;
+    } else if (key == "tid") {
+      if (!p.parse_number(&ev->tid)) return false;
+      ev->has_tid = true;
+    } else {
+      if (!p.skip_value()) return false;
+    }
+    if (p.peek_is(',')) { ++p.i; continue; }
+    return p.expect('}');
+  }
+}
+
+}  // namespace
+
+Status validate_trace_event_json(std::string_view json) {
+  JsonParser p{json, 0, {}};
+  std::vector<ParsedEvent> events;
+  bool saw_trace_events = false;
+
+  if (!p.expect('{'))
+    return Status(Errc::kInvalidArgument, "trace: " + p.err);
+  if (!p.peek_is('}')) {
+    while (true) {
+      std::string key;
+      if (!p.parse_string(&key) || !p.expect(':'))
+        return Status(Errc::kInvalidArgument, "trace: " + p.err);
+      if (key == "traceEvents") {
+        saw_trace_events = true;
+        if (!p.expect('['))
+          return Status(Errc::kInvalidArgument, "trace: " + p.err);
+        if (!p.peek_is(']')) {
+          while (true) {
+            ParsedEvent ev;
+            if (!parse_event(p, &ev))
+              return Status(Errc::kInvalidArgument, "trace: " + p.err);
+            events.push_back(std::move(ev));
+            if (p.peek_is(',')) { ++p.i; continue; }
+            break;
+          }
+        }
+        if (!p.expect(']'))
+          return Status(Errc::kInvalidArgument, "trace: " + p.err);
+      } else {
+        if (!p.skip_value())
+          return Status(Errc::kInvalidArgument, "trace: " + p.err);
+      }
+      if (p.peek_is(',')) { ++p.i; continue; }
+      break;
+    }
+  }
+  if (!p.expect('}'))
+    return Status(Errc::kInvalidArgument, "trace: " + p.err);
+  p.ws();
+  if (p.i != json.size())
+    return Status(Errc::kInvalidArgument, "trace: trailing garbage");
+  if (!saw_trace_events)
+    return Status(Errc::kInvalidArgument, "trace: no traceEvents array");
+
+  // Semantic checks: required fields, global ts monotonicity, matched B/E
+  // pairs per (pid, tid).
+  double prev_ts = -1.0;
+  std::map<std::pair<long long, long long>, std::vector<std::string>> open;
+  for (std::size_t idx = 0; idx < events.size(); ++idx) {
+    const ParsedEvent& e = events[idx];
+    char where[48];
+    std::snprintf(where, sizeof where, " (event %zu)", idx);
+    if (!e.has_ph || !e.has_ts || !e.has_pid || !e.has_tid)
+      return Status(Errc::kInvalidArgument,
+                    std::string("trace: missing ph/ts/pid/tid") + where);
+    if (e.ts < prev_ts)
+      return Status(Errc::kInvalidArgument,
+                    std::string("trace: ts not monotonic") + where);
+    prev_ts = e.ts;
+    const auto track = std::make_pair(static_cast<long long>(e.pid),
+                                      static_cast<long long>(e.tid));
+    if (e.ph == "B") {
+      open[track].push_back(e.name);
+    } else if (e.ph == "E") {
+      auto it = open.find(track);
+      if (it == open.end() || it->second.empty())
+        return Status(Errc::kInvalidArgument,
+                      std::string("trace: E without open B") + where);
+      if (!e.name.empty() && e.name != it->second.back())
+        return Status(Errc::kInvalidArgument,
+                      std::string("trace: mismatched B/E name") + where);
+      it->second.pop_back();
+    }
+  }
+  for (const auto& [track, stack] : open)
+    if (!stack.empty())
+      return Status(Errc::kInvalidArgument, "trace: unclosed B event");
+  return Status::Ok();
+}
+
+}  // namespace dgiwarp::telemetry

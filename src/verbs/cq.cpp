@@ -17,6 +17,9 @@ void CompletionQueue::push(Completion c) {
     ++overruns_;
     reg.trace().record(telemetry::TraceKind::kCqOverrun, c.wr_id,
                        static_cast<u64>(capacity_));
+    // The message's lifecycle ends here even though the application never
+    // sees the completion — close the span as not-completed.
+    if (c.span && c.ends_span) reg.spans().end(c.span, /*completed=*/false);
     DGI_WARN("cq", "completion queue overrun (capacity %zu)", capacity_);
     return;
   }
@@ -25,11 +28,22 @@ void CompletionQueue::push(Completion c) {
   ++completions_;
   reg.trace().record(telemetry::TraceKind::kCqCompletion, q_.back().wr_id,
                      static_cast<u64>(q_.back().byte_len));
+  // Terminal hop of the message lifecycle: the completion reaching the CQ.
+  // Only the completion that finishes the message stages/ends the span —
+  // a source-side send completion staging kCqComplete would smear an
+  // unrelated interval into the breakdown.
+  if (q_.back().span && q_.back().ends_span) {
+    reg.spans().stage(q_.back().span, telemetry::Stage::kCqComplete,
+                      q_.back().wr_id, q_.back().byte_len);
+    reg.spans().end(q_.back().span, q_.back().status.ok());
+  }
   if (on_event_) on_event_();
 }
 
 std::optional<Completion> CompletionQueue::poll() {
-  host_.cpu().charge(host_.costs().cq_poll_fixed);
+  host_.cpu().charge(host_.costs().cq_poll_fixed,
+                     {telemetry::CostLayer::kVerbs,
+                      telemetry::CostActivity::kPoll, 0});
   if (q_.empty()) return std::nullopt;
   Completion c = std::move(q_.front());
   q_.pop_front();
@@ -37,7 +51,9 @@ std::optional<Completion> CompletionQueue::poll() {
 }
 
 std::vector<Completion> CompletionQueue::poll(std::size_t max) {
-  host_.cpu().charge(host_.costs().cq_poll_fixed);
+  host_.cpu().charge(host_.costs().cq_poll_fixed,
+                     {telemetry::CostLayer::kVerbs,
+                      telemetry::CostActivity::kPoll, 0});
   std::vector<Completion> out;
   while (out.size() < max && !q_.empty()) {
     out.push_back(std::move(q_.front()));

@@ -25,7 +25,9 @@ Status QueuePair::post_recv(RecvWr wr) {
     return Status(Errc::kInvalidArgument, "QP in error state");
   if (rq_.size() >= rq_capacity_)
     return Status(Errc::kResourceExhausted, "receive queue full");
-  dev_.host().cpu().charge(dev_.host().costs().verbs_post_fixed);
+  dev_.host().cpu().charge(dev_.host().costs().verbs_post_fixed,
+                           {telemetry::CostLayer::kVerbs,
+                            telemetry::CostActivity::kPost, 0});
   rq_.push_back(wr);
   return Status::Ok();
 }
@@ -54,7 +56,8 @@ void QueuePair::set_error(const Status& why) {
 }
 
 void QueuePair::complete_send(u64 wr_id, WcOpcode op, std::size_t bytes,
-                              Status status, bool signaled) {
+                              Status status, bool signaled, u64 span,
+                              bool ends_span) {
   if (!signaled && status.ok()) return;
   Completion c;
   c.wr_id = wr_id;
@@ -62,6 +65,8 @@ void QueuePair::complete_send(u64 wr_id, WcOpcode op, std::size_t bytes,
   c.opcode = op;
   c.byte_len = bytes;
   c.qpn = qpn_;
+  c.span = span;
+  c.ends_span = ends_span;
   // The completion becomes visible when the CPU finishes the posting work
   // already charged; schedule at the current CPU horizon.
   auto& cpu = dev_.host().cpu();

@@ -45,8 +45,12 @@ class QueuePair {
   /// Pop the next posted receive WR (FIFO, like hardware RQs).
   std::optional<RecvWr> take_recv();
 
+  /// `span`/`ends_span`: lifecycle span attached to the completion (see
+  /// Completion). Pass a span with ends_span=true only for the completion
+  /// that finishes the message (e.g. an RDMA Read once the response data
+  /// has been placed).
   void complete_send(u64 wr_id, WcOpcode op, std::size_t bytes, Status status,
-                     bool signaled);
+                     bool signaled, u64 span = 0, bool ends_span = false);
   void complete_recv(Completion c);
 
   Device& dev_;

@@ -33,6 +33,18 @@ WcOpcode wc_of(WrOpcode op) {
   return WcOpcode::kSend;
 }
 
+// Static label for the root lifecycle span of an RC work request.
+const char* rc_span_label(WrOpcode op) {
+  switch (op) {
+    case WrOpcode::kSend: return "RC Send";
+    case WrOpcode::kSendSE: return "RC SendSE";
+    case WrOpcode::kRdmaWrite: return "RC Write";
+    case WrOpcode::kRdmaRead: return "RC Read";
+    case WrOpcode::kWriteRecord: return "RC WriteRecord";
+  }
+  return "RC";
+}
+
 }  // namespace
 
 RcQueuePair::RcQueuePair(Device& dev, const RcQpAttr& attr)
@@ -142,14 +154,18 @@ void RcQueuePair::on_tcp_data(ConstByteSpan stream, bool tainted) {
 
   // Software MPA receive: marker removal + CRC validation over the stream.
   auto& c = dev_.host().costs();
-  TimeNs cost = 0;
   if (dev_.config().mpa.use_markers)
-    cost += static_cast<TimeNs>(c.marker_remove_ns_per_byte *
-                                static_cast<double>(stream.size()));
+    dev_.host().cpu().charge(
+        static_cast<TimeNs>(c.marker_remove_ns_per_byte *
+                            static_cast<double>(stream.size())),
+        {telemetry::CostLayer::kMpa, telemetry::CostActivity::kMarkers,
+         stream.size()});
   if (dev_.config().mpa.use_crc)
-    cost += static_cast<TimeNs>(c.crc_ns_per_byte *
-                                static_cast<double>(stream.size()));
-  dev_.host().cpu().charge(cost);
+    dev_.host().cpu().charge(
+        static_cast<TimeNs>(c.crc_ns_per_byte *
+                            static_cast<double>(stream.size())),
+        {telemetry::CostLayer::kMpa, telemetry::CostActivity::kCrc,
+         stream.size()});
 
   const Status st = mpa_rx_.consume(stream, tainted);
   if (!st.ok()) {
@@ -176,7 +192,23 @@ Status RcQueuePair::post_send(const SendWr& wr) {
     return Status(Errc::kInvalidArgument, "QP in error state");
 
   auto& c = dev_.host().costs();
-  dev_.host().cpu().charge(c.verbs_post_fixed + c.rdmap_op_fixed);
+  dev_.host().cpu().charge(c.verbs_post_fixed + c.rdmap_op_fixed,
+                           {telemetry::CostLayer::kVerbs,
+                            telemetry::CostActivity::kPost, wr.local.size()});
+
+  // Root of the message lifecycle (see UdQueuePair::post_send); RC frames
+  // carry it via TcpSocket::tag_tx_span because the drain into the socket
+  // is deferred past this scope.
+  host::HostCtx& hc = dev_.host().ctx();
+  auto& spans = dev_.host().sim().telemetry().spans();
+  u64 span = hc.active_span;
+  if (span == 0 && spans.enabled())
+    span = spans.begin(telemetry::SpanKind::kMessage, rc_span_label(wr.opcode),
+                       dev_.host().addr(),
+                       wr.opcode == WrOpcode::kRdmaRead ? wr.read_len
+                                                        : wr.local.size(),
+                       wr.wr_id);
+  host::SpanScope span_scope(hc, span);
 
   if (wr.opcode == WrOpcode::kRdmaRead) {
     rdmap::ReadRequestPayload req;
@@ -258,22 +290,47 @@ void RcQueuePair::enqueue_segment(const ddp::SegmentHeader& h,
   Bytes ulpdu = ddp::build_segment(h, payload, /*with_crc=*/false);
 
   // Software stack cost: segment build (one touch), marker insertion and
-  // FPDU CRC over the framed bytes.
-  TimeNs cost = c.ddp_segment_fixed + c.mpa_frame_fixed +
-                static_cast<TimeNs>(c.touch_ns_per_byte *
-                                    static_cast<double>(payload.size()));
+  // FPDU CRC over the framed bytes — charged as sequential attributable
+  // pieces (same total).
+  dev_.host().cpu().charge(c.ddp_segment_fixed,
+                           {telemetry::CostLayer::kDdp,
+                            telemetry::CostActivity::kSegment,
+                            payload.size()});
+  dev_.host().cpu().charge(c.mpa_frame_fixed,
+                           {telemetry::CostLayer::kMpa,
+                            telemetry::CostActivity::kSegment, ulpdu.size()});
+  dev_.host().cpu().charge(
+      static_cast<TimeNs>(c.touch_ns_per_byte *
+                          static_cast<double>(payload.size())),
+      {telemetry::CostLayer::kDdp, telemetry::CostActivity::kCopy,
+       payload.size()});
   if (dev_.config().mpa.use_markers)
-    cost += static_cast<TimeNs>(c.marker_insert_ns_per_byte *
-                                static_cast<double>(ulpdu.size()));
+    dev_.host().cpu().charge(
+        static_cast<TimeNs>(c.marker_insert_ns_per_byte *
+                            static_cast<double>(ulpdu.size())),
+        {telemetry::CostLayer::kMpa, telemetry::CostActivity::kMarkers,
+         ulpdu.size()});
   if (dev_.config().mpa.use_crc)
-    cost += static_cast<TimeNs>(c.crc_ns_per_byte *
-                                static_cast<double>(ulpdu.size()));
-  dev_.host().cpu().charge(cost);
+    dev_.host().cpu().charge(
+        static_cast<TimeNs>(c.crc_ns_per_byte *
+                            static_cast<double>(ulpdu.size())),
+        {telemetry::CostLayer::kMpa, telemetry::CostActivity::kCrc,
+         ulpdu.size()});
 
   ++stats_.segments_tx;
   const Bytes framed = mpa_tx_.frame(ConstByteSpan{ulpdu});
   txbuf_.insert(txbuf_.end(), framed.begin(), framed.end());
   tx_total_abs_ += framed.size();
+  // Associate the segment's stream bytes with the ambient lifecycle span:
+  // both sides of the connection wrote exactly kHandshakeBytes of MPA
+  // handshake before the first framed byte, so the framed-stream offset is
+  // tx_total_abs_ shifted by that preamble.
+  const u64 span = dev_.host().ctx().active_span;
+  if (span != 0 && sock_) {
+    sock_->tag_tx_span(kHandshakeBytes + tx_total_abs_, span);
+    dev_.host().sim().telemetry().spans().stage(
+        span, telemetry::Stage::kSegmentTx, tx_total_abs_, framed.size());
+  }
   if (completes_wr) tx_marks_.emplace_back(tx_total_abs_, *completes_wr);
   // Batch the socket write: segments enqueued in the same event (e.g. an
   // RDMA Write plus its notifying Send) drain with one send() call.
@@ -319,7 +376,12 @@ void RcQueuePair::drain_tx() {
 
 void RcQueuePair::on_ulpdu(Bytes ulpdu, bool tainted) {
   auto& c = dev_.host().costs();
-  dev_.host().cpu().charge(c.ddp_segment_fixed + c.mpa_frame_fixed);
+  dev_.host().cpu().charge(c.mpa_frame_fixed,
+                           {telemetry::CostLayer::kMpa,
+                            telemetry::CostActivity::kDeliver, ulpdu.size()});
+  dev_.host().cpu().charge(c.ddp_segment_fixed,
+                           {telemetry::CostLayer::kDdp,
+                            telemetry::CostActivity::kDeliver, ulpdu.size()});
 
   auto parsed = ddp::parse_segment(ConstByteSpan{ulpdu}, /*with_crc=*/false);
   if (!parsed.ok()) {
@@ -329,6 +391,11 @@ void RcQueuePair::on_ulpdu(Bytes ulpdu, bool tainted) {
     return;
   }
   ++stats_.segments_rx;
+  // Mark DDP segment acceptance against the span re-established from the
+  // TCP delivery (the span of the last frame contributing to this chunk).
+  dev_.host().sim().telemetry().spans().stage(
+      dev_.host().ctx().active_span, telemetry::Stage::kSegmentRx,
+      parsed->header.mo, parsed->payload.size());
   // Accepted despite riding a corrupted frame with no CRC vouching for the
   // bytes: a silent corruption escape. A passing MPA CRC proves the FPDU
   // was intact, so with the CRC on this does not count.
@@ -373,16 +440,27 @@ void RcQueuePair::handle_untagged(const ddp::ParsedSegment& seg,
           fatal(Status(Errc::kInvalidArgument, "receive buffer too small"));
           return;
         }
-        dev_.host().cpu().charge(c.recv_match_fixed);
+        dev_.host().cpu().charge(c.recv_match_fixed,
+                                 {telemetry::CostLayer::kVerbs,
+                                  telemetry::CostActivity::kMatch, 0});
+        dev_.host().sim().telemetry().spans().stage(
+            dev_.host().ctx().active_span, telemetry::Stage::kRecvMatch,
+            wr->wr_id, seg.header.msg_len);
         active_recv_ = ActiveRecv{*wr, seg.header.msn, 0, seg.header.msg_len,
                                   op == rdmap::Opcode::kSendSE};
       }
       ActiveRecv& ar = *active_recv_;
-      dev_.host().cpu().charge(static_cast<TimeNs>(
-          c.touch_ns_per_byte * static_cast<double>(seg.payload.size())));
+      dev_.host().cpu().charge(
+          static_cast<TimeNs>(c.touch_ns_per_byte *
+                              static_cast<double>(seg.payload.size())),
+          {telemetry::CostLayer::kDdp, telemetry::CostActivity::kPlacement,
+           seg.payload.size()});
       std::memcpy(ar.wr.buffer.data() + seg.header.mo, seg.payload.data(),
                   seg.payload.size());
       ar.received += seg.payload.size();
+      dev_.host().sim().telemetry().spans().stage(
+          dev_.host().ctx().active_span, telemetry::Stage::kPlacement,
+          seg.header.mo, seg.payload.size());
       if (seg.header.last()) {
         Completion done;
         done.wr_id = ar.wr.wr_id;
@@ -391,6 +469,9 @@ void RcQueuePair::handle_untagged(const ddp::ParsedSegment& seg,
         done.src = remote_ep();
         done.src_qpn = seg.header.src_qpn;
         done.solicited = ar.solicited;
+        // The receive-side completion finishes the message lifecycle.
+        done.span = dev_.host().ctx().active_span;
+        done.ends_span = true;
         complete_recv(std::move(done));
         active_recv_.reset();
       }
@@ -418,9 +499,13 @@ void RcQueuePair::handle_tagged(const ddp::ParsedSegment& seg,
   auto& c = dev_.host().costs();
   // Tagged placement on the software RC path pays the marker-compaction
   // penalty (cannot scatter the marker-interrupted payload directly).
-  dev_.host().cpu().charge(static_cast<TimeNs>(
-      (c.touch_ns_per_byte + c.rc_tagged_rx_ns_per_byte) *
-      static_cast<double>(seg.payload.size())));
+  dev_.host().cpu().charge(
+      static_cast<TimeNs>((c.touch_ns_per_byte + c.rc_tagged_rx_ns_per_byte) *
+                          static_cast<double>(seg.payload.size())),
+      {telemetry::CostLayer::kDdp, telemetry::CostActivity::kPlacement,
+       seg.payload.size()});
+  auto& spans = dev_.host().sim().telemetry().spans();
+  const u64 span = dev_.host().ctx().active_span;
 
   switch (op) {
     case rdmap::Opcode::kWrite: {
@@ -430,8 +515,14 @@ void RcQueuePair::handle_tagged(const ddp::ParsedSegment& seg,
         send_terminate(rdmap::TermError::kBaseBoundsViolation,
                        seg.header.stag);
         fatal(placed.status());
+        return;
       }
-      return;  // no target-side completion for plain RDMA Write
+      // No target-side completion for plain RDMA Write: placement of the
+      // last segment is the end of the message lifecycle.
+      spans.stage(span, telemetry::Stage::kPlacement, seg.header.to,
+                  seg.payload.size());
+      if (seg.header.last()) spans.end(span, /*completed=*/true);
+      return;
     }
     case rdmap::Opcode::kWriteRecord: {
       auto placed = ddp::place_tagged(pd_.stags(), seg.header.stag,
@@ -442,7 +533,11 @@ void RcQueuePair::handle_tagged(const ddp::ParsedSegment& seg,
         fatal(placed.status());
         return;
       }
-      dev_.host().cpu().charge(c.write_record_log_fixed);
+      dev_.host().cpu().charge(c.write_record_log_fixed,
+                               {telemetry::CostLayer::kRdmap,
+                                telemetry::CostActivity::kControl, 0});
+      spans.stage(span, telemetry::Stage::kPlacement, seg.header.to,
+                  seg.payload.size());
       auto res = wr_log_.record_chunk(
           remote_ep().ip, seg.header.src_qpn, seg.header.msn, seg.header.stag,
           seg.header.to, seg.header.mo, static_cast<u32>(seg.payload.size()),
@@ -458,6 +553,8 @@ void RcQueuePair::handle_tagged(const ddp::ParsedSegment& seg,
         done.stag = rec->stag;
         done.base_to = rec->base_to;
         done.validity = std::move(rec->validity);
+        done.span = span;
+        done.ends_span = true;
         complete_recv(std::move(done));
       }
       return;
@@ -472,12 +569,16 @@ void RcQueuePair::handle_tagged(const ddp::ParsedSegment& seg,
         fatal(placed.status());
         return;
       }
+      spans.stage(span, telemetry::Stage::kPlacement, seg.header.mo,
+                  seg.payload.size());
       pr.remaining -= static_cast<u32>(
           std::min<std::size_t>(pr.remaining, seg.payload.size()));
       if (pr.remaining == 0) {
         (void)pd_.deregister(pr.sink_stag);
+        // A read's lifecycle ends at the requester once the response data
+        // has been placed and the completion reaches the CQ.
         complete_send(pr.wr_id, WcOpcode::kRdmaRead, seg.header.msg_len,
-                      Status::Ok(), pr.signaled);
+                      Status::Ok(), pr.signaled, span, /*ends_span=*/true);
         pending_reads_.erase(it);
       }
       return;
@@ -523,6 +624,9 @@ void RcQueuePair::send_terminate(rdmap::TermError err, u32 context) {
   // from the peer must not trigger a counter-Terminate (terminate loop).
   if (state_ == QpState::kError) return;
   if (!handshake_done_ || !sock_) return;
+  // Terminate is a reverse-direction control message: do not let it tag the
+  // stream with the span of the segment that provoked it.
+  host::SpanScope scope(dev_.host().ctx(), 0);
   rdmap::TerminateMessage t;
   t.layer = rdmap::TermLayer::kDdp;
   t.error_code = static_cast<u8>(err);

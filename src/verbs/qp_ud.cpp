@@ -29,6 +29,18 @@ WcOpcode wc_of(WrOpcode op) {
   return WcOpcode::kSend;
 }
 
+// Static label for the root lifecycle span of a UD work request.
+const char* ud_span_label(WrOpcode op) {
+  switch (op) {
+    case WrOpcode::kSend: return "UD Send";
+    case WrOpcode::kSendSE: return "UD SendSE";
+    case WrOpcode::kRdmaWrite: return "UD Write";
+    case WrOpcode::kRdmaRead: return "UD Read";
+    case WrOpcode::kWriteRecord: return "UD WriteRecord";
+  }
+  return "UD";
+}
+
 }  // namespace
 
 UdQueuePair::UdQueuePair(Device& dev, const UdQpAttr& attr,
@@ -115,7 +127,24 @@ Status UdQueuePair::post_send(const SendWr& wr) {
     return Status(Errc::kInvalidArgument, "message too large");
 
   auto& c = dev_.host().costs();
-  dev_.host().cpu().charge(c.verbs_post_fixed + c.rdmap_op_fixed);
+  dev_.host().cpu().charge(c.verbs_post_fixed + c.rdmap_op_fixed,
+                           {telemetry::CostLayer::kVerbs,
+                            telemetry::CostActivity::kPost, wr.local.size()});
+
+  // Root of the message lifecycle: the span begins here (with a kPostSend
+  // stage) unless an upper layer (isock) already opened one for this
+  // message, and rides HostCtx::active_span down to every frame this WR
+  // produces.
+  host::HostCtx& hc = dev_.host().ctx();
+  auto& spans = dev_.host().sim().telemetry().spans();
+  u64 span = hc.active_span;
+  if (span == 0 && spans.enabled())
+    span = spans.begin(telemetry::SpanKind::kMessage, ud_span_label(wr.opcode),
+                       dev_.host().addr(),
+                       wr.opcode == WrOpcode::kRdmaRead ? wr.read_len
+                                                        : wr.local.size(),
+                       wr.wr_id);
+  host::SpanScope span_scope(hc, span);
 
   // RDMA Read (extension): a single untagged request on QN1.
   if (wr.opcode == WrOpcode::kRdmaRead) {
@@ -139,7 +168,11 @@ Status UdQueuePair::post_send(const SendWr& wr) {
     h.src_qpn = qpn_;
     const Bytes payload = req.serialize();
     h.msg_len = static_cast<u32>(payload.size());
-    dev_.host().cpu().charge(c.ddp_segment_fixed);
+    dev_.host().cpu().charge(c.ddp_segment_fixed,
+                             {telemetry::CostLayer::kDdp,
+                              telemetry::CostActivity::kSegment,
+                              payload.size()});
+    spans.stage(span, telemetry::Stage::kSegmentTx, read_id, payload.size());
     transmit_segment(wr.remote.ep,
                      ddp::build_segment(h, ConstByteSpan{payload},
                                         dev_.config().ud_crc));
@@ -174,19 +207,30 @@ Status UdQueuePair::post_send(const SendWr& wr) {
     }
     const ConstByteSpan payload = wr.local.subspan(seg.offset, seg.length);
     // Stack work: build the segment (one touch of the payload) + CRC.
-    TimeNs cost = c.ddp_segment_fixed +
-                  static_cast<TimeNs>(c.touch_ns_per_byte *
-                                      static_cast<double>(seg.length));
+    // Charged as three sequential attributable pieces — same total.
+    dev_.host().cpu().charge(c.ddp_segment_fixed,
+                             {telemetry::CostLayer::kDdp,
+                              telemetry::CostActivity::kSegment, seg.length});
+    dev_.host().cpu().charge(
+        static_cast<TimeNs>(c.touch_ns_per_byte *
+                            static_cast<double>(seg.length)),
+        {telemetry::CostLayer::kDdp, telemetry::CostActivity::kCopy,
+         seg.length});
     if (dev_.config().ud_crc)
-      cost += static_cast<TimeNs>(c.crc_ns_per_byte *
-                                  static_cast<double>(seg.length));
-    dev_.host().cpu().charge(cost);
+      dev_.host().cpu().charge(
+          static_cast<TimeNs>(c.crc_ns_per_byte *
+                              static_cast<double>(seg.length)),
+          {telemetry::CostLayer::kDdp, telemetry::CostActivity::kCrc,
+           seg.length});
+    spans.stage(span, telemetry::Stage::kSegmentTx, seg.offset, seg.length);
     transmit_segment(wr.remote.ep,
                      ddp::build_segment(h, payload, dev_.config().ud_crc));
   }
 
   // "The source completes the operation at the moment that the last bit of
-  // the message is passed to transport layer" (§IV.B.3).
+  // the message is passed to transport layer" (§IV.B.3). The source-side
+  // completion does not end the lifecycle span — the message is still in
+  // flight; the receive side finishes it.
   complete_send(wr.wr_id, wc_of(wr.opcode), wr.local.size(), Status::Ok(),
                 wr.signaled);
   return Status::Ok();
@@ -194,11 +238,15 @@ Status UdQueuePair::post_send(const SendWr& wr) {
 
 void UdQueuePair::on_datagram(host::Endpoint src, Bytes data, bool tainted) {
   auto& c = dev_.host().costs();
-  TimeNs cost = c.ddp_segment_fixed;
+  dev_.host().cpu().charge(c.ddp_segment_fixed,
+                           {telemetry::CostLayer::kDdp,
+                            telemetry::CostActivity::kDeliver, data.size()});
   if (dev_.config().ud_crc)
-    cost += static_cast<TimeNs>(c.crc_ns_per_byte *
-                                static_cast<double>(data.size()));
-  dev_.host().cpu().charge(cost);
+    dev_.host().cpu().charge(
+        static_cast<TimeNs>(c.crc_ns_per_byte *
+                            static_cast<double>(data.size())),
+        {telemetry::CostLayer::kDdp, telemetry::CostActivity::kCrc,
+         data.size()});
 
   auto parsed = ddp::parse_segment(ConstByteSpan{data}, dev_.config().ud_crc);
   if (!parsed.ok()) {
@@ -217,6 +265,11 @@ void UdQueuePair::on_datagram(host::Endpoint src, Bytes data, bool tainted) {
   // hit ignorable header bytes en route), so it is not an escape.
   if (tainted && !dev_.config().ud_crc) ++stats_.crc_escapes;
   const ddp::ParsedSegment& seg = *parsed;
+  // The delivery scope (UDP/RD) re-established the span the segment's frame
+  // carried; mark DDP segment acceptance against it.
+  dev_.host().sim().telemetry().spans().stage(
+      dev_.host().ctx().active_span, telemetry::Stage::kSegmentRx,
+      seg.header.mo, seg.payload.size());
 
   auto opr = rdmap::parse_opcode(seg.header.opcode());
   if (!opr.ok()) {
@@ -288,19 +341,30 @@ void UdQueuePair::handle_untagged(host::Endpoint src,
       send_terminate(src, rdmap::TermError::kBufferTooSmall, seg.header.msn);
       return;
     }
-    dev_.host().cpu().charge(c.recv_match_fixed);
+    dev_.host().cpu().charge(c.recv_match_fixed,
+                             {telemetry::CostLayer::kVerbs,
+                              telemetry::CostActivity::kMatch, 0});
+    dev_.host().sim().telemetry().spans().stage(
+        dev_.host().ctx().active_span, telemetry::Stage::kRecvMatch,
+        wr->wr_id, seg.header.msg_len);
     (void)reasm_.begin(key, seg.header.msg_len, wr->buffer, wr->wr_id,
                        dev_.host().sim().now() + dev_.config().ud_message_timeout);
     ensure_gc();
   }
 
-  dev_.host().cpu().charge(static_cast<TimeNs>(
-      c.touch_ns_per_byte * static_cast<double>(seg.payload.size())));
+  dev_.host().cpu().charge(
+      static_cast<TimeNs>(c.touch_ns_per_byte *
+                          static_cast<double>(seg.payload.size())),
+      {telemetry::CostLayer::kDdp, telemetry::CostActivity::kPlacement,
+       seg.payload.size()});
   auto offer = reasm_.offer(key, seg.header.mo, seg.payload);
   if (!offer.ok()) {
     ++stats_.placement_errors;
     return;
   }
+  dev_.host().sim().telemetry().spans().stage(
+      dev_.host().ctx().active_span, telemetry::Stage::kPlacement,
+      seg.header.mo, seg.payload.size());
   if (offer->completed) {
     auto cookie = reasm_.complete(key);
     Completion done;
@@ -310,6 +374,10 @@ void UdQueuePair::handle_untagged(host::Endpoint src,
     done.src = src;
     done.src_qpn = seg.header.src_qpn;
     done.solicited = op == rdmap::Opcode::kSendSE;
+    // The last contributing segment's span finishes at the CQ: the message
+    // is now fully placed and visible to the application.
+    done.span = dev_.host().ctx().active_span;
+    done.ends_span = true;
     complete_recv(std::move(done));
   }
 }
@@ -317,10 +385,14 @@ void UdQueuePair::handle_untagged(host::Endpoint src,
 void UdQueuePair::handle_write_record(host::Endpoint src,
                                       const ddp::ParsedSegment& seg) {
   auto& c = dev_.host().costs();
+  dev_.host().cpu().charge(c.write_record_log_fixed,
+                           {telemetry::CostLayer::kRdmap,
+                            telemetry::CostActivity::kControl, 0});
   dev_.host().cpu().charge(
-      c.write_record_log_fixed +
       static_cast<TimeNs>(c.touch_ns_per_byte *
-                          static_cast<double>(seg.payload.size())));
+                          static_cast<double>(seg.payload.size())),
+      {telemetry::CostLayer::kRdmap, telemetry::CostActivity::kPlacement,
+       seg.payload.size()});
 
   auto placed = ddp::place_tagged(pd_.stags(), seg.header.stag, seg.header.to,
                                   seg.payload);
@@ -332,6 +404,10 @@ void UdQueuePair::handle_write_record(host::Endpoint src,
     send_terminate(src, err, seg.header.stag);
     return;
   }
+
+  dev_.host().sim().telemetry().spans().stage(
+      dev_.host().ctx().active_span, telemetry::Stage::kPlacement,
+      seg.header.to, seg.payload.size());
 
   auto res = wr_log_.record_chunk(
       src.ip, seg.header.src_qpn, seg.header.msn, seg.header.stag,
@@ -352,6 +428,10 @@ void UdQueuePair::handle_write_record(host::Endpoint src,
     done.stag = rec->stag;
     done.base_to = rec->base_to;
     done.validity = std::move(rec->validity);
+    // One-sided: the target-side record entry is what completes the
+    // Write-Record's lifecycle.
+    done.span = dev_.host().ctx().active_span;
+    done.ends_span = true;
     complete_recv(std::move(done));
   }
 }
@@ -389,13 +469,25 @@ void UdQueuePair::handle_read_request(host::Endpoint src,
     h.src_qpn = qpn_;
     h.stag = req->src_stag;  // informational; requester places by read id
     h.to = s.offset;
-    TimeNs cost = c.ddp_segment_fixed +
-                  static_cast<TimeNs>(c.touch_ns_per_byte *
-                                      static_cast<double>(s.length));
+    dev_.host().cpu().charge(c.ddp_segment_fixed,
+                             {telemetry::CostLayer::kDdp,
+                              telemetry::CostActivity::kSegment, s.length});
+    dev_.host().cpu().charge(
+        static_cast<TimeNs>(c.touch_ns_per_byte *
+                            static_cast<double>(s.length)),
+        {telemetry::CostLayer::kDdp, telemetry::CostActivity::kCopy,
+         s.length});
     if (dev_.config().ud_crc)
-      cost += static_cast<TimeNs>(c.crc_ns_per_byte *
-                                  static_cast<double>(s.length));
-    dev_.host().cpu().charge(cost);
+      dev_.host().cpu().charge(
+          static_cast<TimeNs>(c.crc_ns_per_byte *
+                              static_cast<double>(s.length)),
+          {telemetry::CostLayer::kDdp, telemetry::CostActivity::kCrc,
+           s.length});
+    // Response segments ride the requester's span (the ambient delivery
+    // scope), so its trace shows the full request->response round trip.
+    dev_.host().sim().telemetry().spans().stage(
+        dev_.host().ctx().active_span, telemetry::Stage::kSegmentTx, s.offset,
+        s.length);
     transmit_segment(src, ddp::build_segment(
                               h, data->subspan(s.offset, s.length),
                               dev_.config().ud_crc));
@@ -413,15 +505,24 @@ void UdQueuePair::handle_read_response(host::Endpoint src,
     return;
   }
   auto& c = dev_.host().costs();
-  dev_.host().cpu().charge(static_cast<TimeNs>(
-      c.touch_ns_per_byte * static_cast<double>(seg.payload.size())));
+  dev_.host().cpu().charge(
+      static_cast<TimeNs>(c.touch_ns_per_byte *
+                          static_cast<double>(seg.payload.size())),
+      {telemetry::CostLayer::kDdp, telemetry::CostActivity::kPlacement,
+       seg.payload.size()});
+  dev_.host().sim().telemetry().spans().stage(
+      dev_.host().ctx().active_span, telemetry::Stage::kPlacement,
+      seg.header.mo, seg.payload.size());
   std::memcpy(pr.sink.data() + seg.header.mo, seg.payload.data(),
               seg.payload.size());
   pr.remaining -= static_cast<u32>(
       std::min<std::size_t>(pr.remaining, seg.payload.size()));
   if (pr.remaining == 0) {
+    // A read's lifecycle ends at the requester, once the response data has
+    // been placed and the completion reaches the CQ.
     complete_send(pr.wr_id, WcOpcode::kRdmaRead, seg.header.msg_len,
-                  Status::Ok(), pr.signaled);
+                  Status::Ok(), pr.signaled, dev_.host().ctx().active_span,
+                  /*ends_span=*/true);
     pending_reads_.erase(it);
   }
 }
@@ -440,7 +541,13 @@ void UdQueuePair::send_terminate(host::Endpoint dst, rdmap::TermError err,
   h.queue = static_cast<u8>(ddp::Queue::kTerminate);
   h.msg_len = static_cast<u32>(payload.size());
   h.src_qpn = qpn_;
-  dev_.host().cpu().charge(dev_.host().costs().ddp_segment_fixed);
+  dev_.host().cpu().charge(dev_.host().costs().ddp_segment_fixed,
+                           {telemetry::CostLayer::kDdp,
+                            telemetry::CostActivity::kControl,
+                            payload.size()});
+  // Terminate is a reverse-direction control message: it must not carry the
+  // span of the segment that provoked it.
+  host::SpanScope scope(dev_.host().ctx(), 0);
   transmit_segment(dst, ddp::build_segment(h, ConstByteSpan{payload},
                                            dev_.config().ud_crc));
 }

@@ -82,6 +82,13 @@ struct Completion {
   u64 base_to = 0;
   bool solicited = false;
   rdmap::ValidityMap validity;
+
+  /// Message-lifecycle span (telemetry/span.hpp) riding the completion, and
+  /// whether this completion terminates it (the receive-side completion of
+  /// a message does; the source-side completion of a send does not).
+  /// Observational only.
+  u64 span = 0;
+  bool ends_span = false;
 };
 
 }  // namespace dgiwarp::verbs

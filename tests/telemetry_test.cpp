@@ -1,9 +1,14 @@
 // Telemetry subsystem: registry aggregation, the Metric dual view, trace
-// ring bounds, observer ordering and deterministic JSON export.
+// ring bounds, observer ordering, the cost profiler and deterministic JSON
+// export.
 #include <gtest/gtest.h>
+
+#include <set>
+#include <string>
 
 #include "perf/harness.hpp"
 #include "simnet/simulation.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/registry.hpp"
 
 namespace dgiwarp {
@@ -77,6 +82,150 @@ TEST(Telemetry, TraceRingBoundsMemory) {
   EXPECT_EQ(events.back().a, 99u);
 }
 
+// kTraceKindCount must track the enum: every value below it has a real
+// name, and the one-past-the-end value hits the "?" fallback. Adding an
+// enumerator without bumping the constant (or vice versa) fails here.
+TEST(Telemetry, TraceKindNamesAreExhaustive) {
+  std::set<std::string> names;
+  for (u8 k = 0; k < telemetry::kTraceKindCount; ++k) {
+    const char* name = trace_kind_name(static_cast<TraceKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "missing name for TraceKind " << int(k);
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate TraceKind name " << name;
+  }
+  EXPECT_STREQ(trace_kind_name(static_cast<TraceKind>(
+                   telemetry::kTraceKindCount)),
+               "?");
+}
+
+// Same contract for the span/profiler vocabularies introduced with them.
+TEST(Telemetry, SpanAndCostNamesAreExhaustive) {
+  for (u8 s = 0; s < telemetry::kStageCount; ++s)
+    EXPECT_STRNE(telemetry::stage_name(static_cast<telemetry::Stage>(s)),
+                 "?");
+  EXPECT_STREQ(telemetry::stage_name(
+                   static_cast<telemetry::Stage>(telemetry::kStageCount)),
+               "?");
+  for (u8 p = 0; p < telemetry::kSpanPhaseCount; ++p)
+    EXPECT_STRNE(
+        telemetry::span_phase_name(static_cast<telemetry::SpanPhase>(p)),
+        "?");
+  for (u8 l = 0; l < telemetry::kCostLayerCount; ++l)
+    EXPECT_STRNE(
+        telemetry::cost_layer_name(static_cast<telemetry::CostLayer>(l)),
+        "?");
+  for (u8 a = 0; a < telemetry::kCostActivityCount; ++a)
+    EXPECT_STRNE(
+        telemetry::cost_activity_name(static_cast<telemetry::CostActivity>(a)),
+        "?");
+  for (u8 c = 0; c < telemetry::kSizeClassCount; ++c)
+    EXPECT_STRNE(telemetry::size_class_name(c), "?");
+}
+
+// Wraparound across several full cycles: the ring keeps exactly the newest
+// `capacity` events in order, dropped() counts the rest, and re-enabling
+// clears everything.
+TEST(Telemetry, TraceRingWrapsAroundRepeatedly) {
+  Registry reg;
+  reg.trace().enable(8);
+  for (u64 i = 0; i < 8; ++i)
+    reg.trace().record(TraceKind::kLinkDeliver, i, 0);
+  EXPECT_EQ(reg.trace().dropped(), 0u);  // exactly full: nothing lost yet
+
+  for (u64 i = 8; i < 8 * 3 + 5; ++i)
+    reg.trace().record(TraceKind::kLinkDeliver, i, 0);
+  const auto events = reg.trace().snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].a, 8 * 3 + 5 - 8 + i);  // newest 8, oldest first
+  EXPECT_EQ(reg.trace().recorded(), 8u * 3 + 5);
+  EXPECT_EQ(reg.trace().dropped(), 8u * 3 + 5 - 8);
+
+  reg.trace().enable(4);  // re-enable clears and resizes
+  EXPECT_EQ(reg.trace().recorded(), 0u);
+  EXPECT_TRUE(reg.trace().snapshot().empty());
+  EXPECT_EQ(reg.trace().capacity(), 4u);
+}
+
+// The clock-wiring footgun documented in trace.hpp: a ring (and span
+// tracker) obtained through a Registry stamps real virtual time even when
+// enabled before any simulation event ran — the Registry constructor wires
+// the clock, not enable(). A standalone TraceRing has no time source and
+// stamps 0 by design.
+TEST(Telemetry, RegistryWiresClocksAtConstruction) {
+  sim::Simulation s;
+  auto& reg = s.telemetry();
+  reg.trace().enable();      // enabled before any event ever executed
+  reg.spans().enable();
+  u64 span = 0;
+  s.at(123, [&] {
+    reg.trace().record(TraceKind::kLinkDrop, 7, 0);
+    span = reg.spans().begin(telemetry::SpanKind::kMessage, "t", 1, 64);
+  });
+  s.at(200, [&] { reg.spans().end(span, true); });
+  s.run();
+  const auto events = reg.trace().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].t, 123);
+  ASSERT_EQ(reg.spans().finished().size(), 1u);
+  EXPECT_EQ(reg.spans().finished()[0].start, 123);
+  EXPECT_EQ(reg.spans().finished()[0].end, 200);
+
+  telemetry::TraceRing standalone;  // no Registry, no clock: stamps 0
+  standalone.enable();
+  standalone.record(TraceKind::kLinkDrop, 1, 0);
+  ASSERT_EQ(standalone.snapshot().size(), 1u);
+  EXPECT_EQ(standalone.snapshot()[0].t, 0);
+}
+
+TEST(Telemetry, ProfilerBucketsByLayerActivityAndSizeClass) {
+  telemetry::CostProfiler prof;
+  const telemetry::CostSite crc{telemetry::CostLayer::kMpa,
+                                telemetry::CostActivity::kCrc, 1432};
+  prof.record(crc, 100);  // disabled: must not land anywhere
+  EXPECT_EQ(prof.total_ns(), 0u);
+
+  prof.enable();
+  prof.record(crc, 100);
+  prof.record(crc, 50);
+  prof.record({telemetry::CostLayer::kMpa, telemetry::CostActivity::kCrc,
+               64 * 1024},
+              1000);
+  prof.record({telemetry::CostLayer::kVerbs, telemetry::CostActivity::kPost,
+               0},
+              30);
+
+  const auto& b = prof.bucket(telemetry::CostLayer::kMpa,
+                              telemetry::CostActivity::kCrc,
+                              telemetry::size_class_of(1432));
+  EXPECT_EQ(b.count, 2u);
+  EXPECT_EQ(b.total_ns, 150u);
+  EXPECT_EQ(b.total_bytes, 2u * 1432);
+  EXPECT_EQ(prof.total_ns(telemetry::CostLayer::kMpa), 1150u);
+  EXPECT_EQ(prof.total_ns(), 1180u);
+
+  // Different size classes stay apart.
+  EXPECT_NE(telemetry::size_class_of(1432), telemetry::size_class_of(64 * 1024));
+  EXPECT_EQ(telemetry::size_class_of(0), 0);
+  EXPECT_EQ(telemetry::size_class_of(1), telemetry::size_class_of(64));
+  EXPECT_NE(telemetry::size_class_of(64), telemetry::size_class_of(65));
+
+  // merge_from is bucket-wise additive; to_json is deterministic.
+  telemetry::CostProfiler other;
+  other.enable();
+  other.record(crc, 25);
+  prof.merge_from(other);
+  EXPECT_EQ(prof.bucket(telemetry::CostLayer::kMpa,
+                        telemetry::CostActivity::kCrc,
+                        telemetry::size_class_of(1432))
+                .total_ns,
+            175u);
+  EXPECT_EQ(prof.to_json(), prof.to_json());
+  EXPECT_NE(prof.to_json().find("\"crc\""), std::string::npos);
+  EXPECT_FALSE(prof.table().empty());
+}
+
 TEST(Telemetry, TraceDisabledByDefaultRecordsNothing) {
   Registry reg;
   reg.trace().record(TraceKind::kLinkDrop, 1, 2);
@@ -126,8 +275,9 @@ TEST(Telemetry, ObserverSeesEventsInOrder) {
   for (std::size_t i = 1; i < rec.seen.size(); ++i) {
     EXPECT_GE(rec.seen[i].first, rec.seen[i - 1].first);  // monotone in t
     // Same-timestamp events observe FIFO scheduling order via seq.
-    if (rec.seen[i].first == rec.seen[i - 1].first)
+    if (rec.seen[i].first == rec.seen[i - 1].first) {
       EXPECT_GT(rec.seen[i].second, rec.seen[i - 1].second);
+    }
   }
   EXPECT_EQ(rec.seen[0].first, 10);
   EXPECT_EQ(rec.seen[1].first, 10);
