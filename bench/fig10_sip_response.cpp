@@ -25,6 +25,10 @@ double measure(sip::Transport t) {
   for (int i = 0; i < 10; ++i) {
     auto r = client.invite_response_time();
     if (r.ok()) samples.add(to_ms(*r));
+    // Light load (paper §V): each sample starts quiescent — don't let the
+    // previous call's teardown tail (BYE 200 + socket close) queue the
+    // next INVITE behind residual CPU work.
+    fabric.sim().run_until(fabric.sim().now() + 2 * kMillisecond);
   }
   return samples.mean();
 }

@@ -1,0 +1,134 @@
+// Figure 12 (extension): node-array scale run.
+//
+// The paper's experiments stop at two endpoints and one switch; the
+// scalability argument for datagram-iWARP (§VI.B.2, memory at 10000
+// concurrent calls) is made on a single server. This bench extends that
+// argument to a datacenter-shaped topology: 1000 hosts spread over 8 leaf
+// switches joined by a 2-cable spine LAG, running 500 independent SIP
+// tenants with 20 concurrent calls each — 10000 concurrent transactions in
+// one discrete-event simulation.
+//
+// The run executes TWICE with the same seed and the metrics registries are
+// compared byte-for-byte: the process exits non-zero on any divergence,
+// making this bench the determinism gate for the Topology/ClusterHarness
+// layers (ctest tier-2; also wired into verify-fabric).
+#include "bench_util.hpp"
+#include "perf/cluster.hpp"
+
+#include <algorithm>
+
+using namespace dgiwarp;
+
+namespace {
+
+perf::ClusterConfig scale_config() {
+  perf::ClusterConfig cfg;
+  cfg.topo.leaves = 8;
+  cfg.topo.trunk_cables = 2;
+  // 125 hosts per leaf at 10G versus a 2x10G trunk: 62.5x oversubscribed,
+  // which SIP's tiny messages tolerate (media streaming would not).
+  cfg.pairs = 500;
+  cfg.calls_per_pair = 20;
+  cfg.transport = sip::Transport::kUd;
+  cfg.deadline = 240 * kSecond;
+  return cfg;
+}
+
+struct RunOutcome {
+  perf::ClusterReport report;
+  std::string metrics;
+};
+
+RunOutcome run_once() {
+  perf::ClusterHarness cluster(scale_config());
+  RunOutcome out;
+  out.report = cluster.run_sip();
+  out.metrics = cluster.metrics_json();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Figure 12 — node-array scale: 1000 hosts, 10000 SIP calls",
+                "extends the paper's 10000-call single-server memory "
+                "experiment (Fig. 11) to a 1000-node leaf-spine fabric");
+
+  const RunOutcome a = run_once();
+  const auto& rep = a.report;
+
+  std::printf("topology: %zu hosts, 8 leaves, 2-cable spine LAG\n",
+              rep.nodes);
+  std::printf("calls:    %zu requested, %zu established, %zu terminated\n",
+              rep.calls_requested, rep.established, rep.terminated);
+  std::printf("events:   %llu executed, %.1f ms virtual time\n",
+              static_cast<unsigned long long>(rep.events),
+              static_cast<double>(rep.virtual_time) / 1e6);
+  std::printf("setup:    all calls up %.1f ms after first INVITE\n\n",
+              static_cast<double>(rep.setup_time) / 1e6);
+
+  // Per-tenant MemLedger totals: every tenant is an isolated server+client
+  // host pair, so the ledger cleanly attributes memory per tenant.
+  i64 min_total = 0, max_total = 0, sum_total = 0;
+  for (const auto& t : rep.tenants) {
+    if (t.server_total < min_total || min_total == 0)
+      min_total = t.server_total;
+    max_total = std::max(max_total, t.server_total);
+    sum_total += t.server_total;
+  }
+  TablePrinter t({"tenant", "calls up", "server KB", "app KB", "client KB"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(rep.tenants.size(), 4);
+       ++i) {
+    const auto& ts = rep.tenants[i];
+    t.add_row({ts.name, std::to_string(ts.established),
+               TablePrinter::fmt(static_cast<double>(ts.server_total) / 1024.0,
+                                 1),
+               TablePrinter::fmt(static_cast<double>(ts.server_app) / 1024.0,
+                                 1),
+               TablePrinter::fmt(static_cast<double>(ts.client_total) / 1024.0,
+                                 1)});
+  }
+  t.print();
+  std::printf("(%zu tenants; per-tenant server ledger min/mean/max = "
+              "%.1f / %.1f / %.1f KB, fleet total %.1f MB)\n\n",
+              rep.tenants.size(),
+              static_cast<double>(min_total) / 1024.0,
+              static_cast<double>(sum_total) / 1024.0 /
+                  static_cast<double>(std::max<std::size_t>(
+                      rep.tenants.size(), 1)),
+              static_cast<double>(max_total) / 1024.0,
+              static_cast<double>(rep.server_mem_total) / (1024.0 * 1024.0));
+
+  // Determinism gate: an identical second run must produce an identical
+  // metrics registry (every counter, gauge and histogram bucket).
+  const RunOutcome b = run_once();
+  const bool identical = a.metrics == b.metrics &&
+                         a.report.events == b.report.events &&
+                         a.report.established == b.report.established;
+  std::printf("determinism: second run %s (events %llu vs %llu, metrics "
+              "json %zu vs %zu bytes)\n",
+              identical ? "IDENTICAL" : "DIVERGED",
+              static_cast<unsigned long long>(a.report.events),
+              static_cast<unsigned long long>(b.report.events),
+              a.metrics.size(), b.metrics.size());
+
+  if (const std::string path = bench::metrics_json_path(argc, argv);
+      !path.empty()) {
+    if (FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(a.metrics.data(), 1, a.metrics.size(), f);
+      std::fclose(f);
+      std::printf("\nmetrics written to %s\n", path.c_str());
+    }
+  }
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: seeded scale run is not deterministic\n");
+    return 1;
+  }
+  if (rep.established < rep.calls_requested) {
+    std::fprintf(stderr, "FAIL: only %zu/%zu calls established\n",
+                 rep.established, rep.calls_requested);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Simulator speedometer: how many simulation events per wall-clock second
+// the engine sustains on representative workloads.
+//
+// Unlike every fig* bench (which report VIRTUAL time and are
+// bit-reproducible), this one measures the HOST machine — it exists to
+// track the simulator's own performance trajectory across commits. Output
+// goes to BENCH_throughput.json (override with --out <path>); the checked-
+// in copy at the repo root is the trajectory's first point. Event counts
+// are deterministic; wall times and events/sec vary with the machine.
+#include "bench_util.hpp"
+#include "perf/cluster.hpp"
+
+#include <chrono>
+
+using namespace dgiwarp;
+
+namespace {
+
+struct Sample {
+  std::string name;
+  u64 events = 0;
+  double wall_ms = 0.0;
+  double virtual_ms = 0.0;
+  double events_per_sec = 0.0;
+};
+
+Sample run_workload(const std::string& name, perf::ClusterConfig cfg,
+                    bool media) {
+  perf::ClusterHarness cluster(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const perf::ClusterReport rep = media ? cluster.run_media()
+                                        : cluster.run_sip();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Sample s;
+  s.name = name;
+  s.events = rep.events;
+  s.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  s.virtual_ms = static_cast<double>(rep.virtual_time) / 1e6;
+  s.events_per_sec =
+      s.wall_ms > 0.0 ? static_cast<double>(s.events) / (s.wall_ms / 1e3)
+                      : 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Simulator throughput — events per wall-clock second",
+                "perf-trajectory speedometer (host-machine numbers, NOT "
+                "virtual time)");
+
+  std::vector<Sample> samples;
+
+  {
+    perf::ClusterConfig cfg;
+    cfg.pairs = 8;
+    cfg.calls_per_pair = 25;
+    cfg.transport = sip::Transport::kUd;
+    samples.push_back(run_workload("sip_ud_8x25", cfg, false));
+  }
+  {
+    perf::ClusterConfig cfg;
+    cfg.pairs = 8;
+    cfg.calls_per_pair = 10;
+    cfg.transport = sip::Transport::kRc;
+    samples.push_back(run_workload("sip_rc_8x10", cfg, false));
+  }
+  {
+    perf::ClusterConfig cfg;
+    cfg.pairs = 4;
+    cfg.topo.leaves = 2;
+    cfg.media_prebuffer = 512 * 1024;
+    samples.push_back(run_workload("media_ud_4x512k", cfg, true));
+  }
+  {
+    // Multi-leaf SIP: same tenant load as sip_ud_8x25 but crossing a
+    // 4-leaf spine, so switch forwarding and trunk hashing are on the path.
+    perf::ClusterConfig cfg;
+    cfg.pairs = 8;
+    cfg.calls_per_pair = 25;
+    cfg.topo.leaves = 4;
+    cfg.topo.trunk_cables = 2;
+    samples.push_back(run_workload("sip_ud_8x25_leafspine", cfg, false));
+  }
+
+  TablePrinter t({"workload", "events", "wall ms", "virtual ms",
+                  "Mevents/s"});
+  u64 total_events = 0;
+  double total_wall = 0.0;
+  for (const auto& s : samples) {
+    total_events += s.events;
+    total_wall += s.wall_ms;
+    t.add_row({s.name, std::to_string(s.events),
+               TablePrinter::fmt(s.wall_ms, 1),
+               TablePrinter::fmt(s.virtual_ms, 1),
+               TablePrinter::fmt(s.events_per_sec / 1e6, 2)});
+  }
+  t.print();
+  const double aggregate =
+      total_wall > 0.0 ? static_cast<double>(total_events) /
+                             (total_wall / 1e3)
+                       : 0.0;
+  std::printf("\naggregate: %llu events in %.1f ms => %.2f Mevents/s\n",
+              static_cast<unsigned long long>(total_events), total_wall,
+              aggregate / 1e6);
+
+  std::string out = bench::arg_path(argc, argv, "--out");
+  if (out.empty()) out = "BENCH_throughput.json";
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"schema\": \"dgiwarp-throughput-v1\",\n");
+    std::fprintf(f, "  \"aggregate_events_per_sec\": %.0f,\n", aggregate);
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto& s = samples[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"events\": %llu, "
+                   "\"wall_ms\": %.1f, \"virtual_ms\": %.3f, "
+                   "\"events_per_sec\": %.0f}%s\n",
+                   s.name.c_str(),
+                   static_cast<unsigned long long>(s.events), s.wall_ms,
+                   s.virtual_ms, s.events_per_sec,
+                   i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("speedometer written to %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  return 0;
+}

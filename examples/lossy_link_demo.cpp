@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   auto qs = *dev_s.create_ud_qp({&pd_s, &cq_s, &cq_s, 0, false});
   auto qd = *dev_d.create_ud_qp({&pd_d, &cq_d, &cq_d, 0, false});
 
-  fabric.set_egress_faults(0, sim::Faults::bernoulli(loss));
+  fabric.uplink(0).set_faults(sim::Faults::bernoulli(loss));
 
   const std::size_t kMsg = 512 * KiB;  // eight 64 KB stack-level segments
   Bytes region(kMsg, 0);

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   auto pub_qp = *pub_dev.create_ud_qp({&pub_pd, &pub_cq, &pub_cq, 9100, false});
 
   // Lossy downlinks: market feeds tolerate gaps (latest quote wins).
-  fabric.set_egress_faults(0, sim::Faults::bernoulli(loss));
+  fabric.uplink(0).set_faults(sim::Faults::bernoulli(loss));
 
   std::vector<Subscriber> subs(n_subs);
   for (std::size_t i = 0; i < n_subs; ++i) {

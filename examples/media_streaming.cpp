@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   isock::ISockStack io_s(dev_s, cfg), io_c(dev_c, cfg);
 
   if (loss > 0.0)
-    fabric.set_egress_faults(0, sim::Faults::bernoulli(loss));
+    fabric.uplink(0).set_faults(sim::Faults::bernoulli(loss));
 
   media::StreamParams params;
   params.burst_start = false;  // live stream at the encoding bitrate

@@ -136,36 +136,53 @@ void MediaServer::stream_http_body(int fd, std::size_t total_bytes) {
   sim.after(0, [tick, total_bytes] { (*tick)(total_bytes); });
 }
 
-ClientResult MediaClient::run_udp(Endpoint server, std::size_t prebuffer,
-                                  TimeNs deadline) {
-  ClientResult res;
+std::shared_ptr<MediaClient::Stream> MediaClient::start_udp(
+    Endpoint server, std::size_t prebuffer) {
   auto fd = io_.socket(isock::SockType::kDatagram);
-  if (!fd.ok()) return res;
-  if (!io_.bind(*fd, 0).ok()) return res;
+  if (!fd.ok()) return nullptr;
+  if (!io_.bind(*fd, 0).ok()) return nullptr;
 
-  u32 expected_seq = 0;
-  io_.set_datagram_handler(*fd, [&](Endpoint, ConstByteSpan data) {
+  auto s = std::make_shared<Stream>();
+  s->fd = *fd;
+  s->prebuffer = prebuffer;
+  s->started = io_.device().host().sim().now();
+
+  io_.set_datagram_handler(*fd, [s](Endpoint, ConstByteSpan data) {
     if (data.size() < kFrameHeaderBytes) return;
     WireReader r(data);
     const u32 seq = r.u32be();
     r.u32be();
-    if (expected_seq != 0 && seq > expected_seq + 1)
-      res.sequence_gaps += seq - expected_seq - 1;
-    expected_seq = std::max(expected_seq, seq);
-    ++res.frames;
-    res.bytes_received += data.size();
+    if (s->expected_seq != 0 && seq > s->expected_seq + 1)
+      s->result.sequence_gaps += seq - s->expected_seq - 1;
+    s->expected_seq = std::max(s->expected_seq, seq);
+    ++s->result.frames;
+    s->result.bytes_received += data.size();
   });
 
-  auto& sim = io_.device().host().sim();
-  const TimeNs t0 = sim.now();
   const Bytes join = bytes_of(kJoin);
-  if (!io_.sendto(*fd, server, ConstByteSpan{join}).ok()) return res;
+  if (!io_.sendto(*fd, server, ConstByteSpan{join}).ok()) {
+    (void)io_.close(*fd);
+    return nullptr;
+  }
+  return s;
+}
 
-  res.completed = sim.run_while_pending(
-      [&] { return res.bytes_received >= prebuffer; }, t0 + deadline);
-  res.buffering_time = sim.now() - t0;
-  (void)io_.close(*fd);
-  return res;
+void MediaClient::finish(const std::shared_ptr<Stream>& s) {
+  if (!s || s->fd < 0) return;
+  s->result.completed = s->done();
+  s->result.buffering_time = io_.device().host().sim().now() - s->started;
+  (void)io_.close(s->fd);
+  s->fd = -1;
+}
+
+ClientResult MediaClient::run_udp(Endpoint server, std::size_t prebuffer,
+                                  TimeNs deadline) {
+  auto s = start_udp(server, prebuffer);
+  if (!s) return {};
+  auto& sim = io_.device().host().sim();
+  sim.run_while_pending([&] { return s->done(); }, s->started + deadline);
+  finish(s);
+  return s->result;
 }
 
 ClientResult MediaClient::run_http(Endpoint server, std::size_t prebuffer,

@@ -90,6 +90,27 @@ class MediaClient {
   ClientResult run_http(Endpoint server, std::size_t prebuffer,
                         TimeNs deadline);
 
+  /// In-flight stream state for the non-blocking API. The receive handler
+  /// holds a strong reference, so the state outlives the MediaClient's
+  /// caller frame (unlike run_udp's stack captures).
+  struct Stream {
+    ClientResult result;
+    TimeNs started = 0;
+    std::size_t prebuffer = 0;
+    int fd = -1;
+    u32 expected_seq = 0;
+    bool done() const { return result.bytes_received >= prebuffer; }
+  };
+
+  /// Non-blocking half of run_udp: join the stream and install the receive
+  /// handler, but do not run the simulation. Cluster harnesses start many
+  /// of these and drive one shared wait loop, then call finish() on each.
+  /// Null on socket exhaustion.
+  std::shared_ptr<Stream> start_udp(Endpoint server, std::size_t prebuffer);
+
+  /// Stamp buffering_time/completed and release the stream's socket.
+  void finish(const std::shared_ptr<Stream>& s);
+
  private:
   isock::ISockStack& io_;
 };

@@ -120,6 +120,15 @@ void SipServer::handle_request(const SipMessage& req, int fd,
   CallRecord& record = it != calls_.end() ? it->second->record : scratch;
 
   const UasAction act = uas_on_request(record, req.method);
+  // A BYE both owes a 200 and retires the dialog's dedicated socket. The
+  // close must chain BEHIND the deferred response send: the send sits on
+  // the CPU model (charge_then) while a bare after(0) close would fire at
+  // `now`, beating it and swallowing the 200 on a dead fd.
+  const bool destroys = act.call_destroyed && it != calls_.end();
+  const int closing_fd =
+      destroys && transport_ == Transport::kUd ? it->second->fd : -1;
+  if (destroys) calls_.erase(it);
+
   if (act.respond_code != 0) {
     // The response leaves only after the app has parsed the request and
     // built the reply (gates the measured response time, Figure 10).
@@ -127,26 +136,22 @@ void SipServer::handle_request(const SipMessage& req, int fd,
     Bytes wire = rsp.serialize();
     const Transport transport = transport_;
     io_.device().host().cpu().charge_then(
-        cfg_.app_process, [this, fd, reply_to, transport,
+        cfg_.app_process, [this, fd, reply_to, transport, closing_fd,
                            wire = std::move(wire)] {
           if (transport == Transport::kUd) {
             (void)io_.sendto(fd, reply_to, ConstByteSpan{wire});
           } else {
             (void)io_.send(fd, ConstByteSpan{wire});
           }
+          if (closing_fd >= 0)
+            io_.device().host().sim().after(
+                0, [this, closing_fd] { (void)io_.close(closing_fd); });
         });
-  }
-
-  if (act.call_destroyed && it != calls_.end()) {
-    // Defer the socket close: the response above must leave first, and we
-    // may be running inside this very socket's receive handler.
-    const int call_fd = it->second->fd;
-    const bool own_socket = transport_ == Transport::kUd;
-    calls_.erase(it);
-    if (own_socket) {
-      io_.device().host().sim().after(
-          0, [this, call_fd] { (void)io_.close(call_fd); });
-    }
+  } else if (closing_fd >= 0) {
+    // No response owed: still defer the close out of this socket's own
+    // receive handler.
+    io_.device().host().sim().after(
+        0, [this, closing_fd] { (void)io_.close(closing_fd); });
   }
 }
 
@@ -288,7 +293,15 @@ Result<TimeNs> SipClient::invite_response_time(TimeNs deadline) {
 std::size_t SipClient::establish_calls(std::size_t n, TimeNs deadline) {
   auto& sim = io_.device().host().sim();
   const TimeNs limit = sim.now() + deadline;
+  start_calls(n);
+  sim.run_while_pending(
+      [this] { return established_count_ >= calls_.size(); }, limit);
+  return established();
+}
 
+std::size_t SipClient::start_calls(std::size_t n) {
+  auto& sim = io_.device().host().sim();
+  std::size_t created = 0;
   for (std::size_t i = 0; i < n; ++i) {
     auto fd = open_call_socket();
     if (!fd.ok()) break;
@@ -301,6 +314,7 @@ std::size_t SipClient::establish_calls(std::size_t n, TimeNs deadline) {
                               CallRecord::kAppBytesPerCall);
     ClientCall* raw = call.get();
     calls_.emplace(call_id, std::move(call));
+    ++created;
 
     if (transport_ == Transport::kUd) {
       io_.set_datagram_handler(
@@ -334,21 +348,26 @@ std::size_t SipClient::establish_calls(std::size_t n, TimeNs deadline) {
                 });
     }
   }
-
-  sim.run_while_pending(
-      [this] { return established_count_ >= calls_.size(); }, limit);
-  return established();
+  return created;
 }
 
 void SipClient::teardown_all(TimeNs deadline) {
   auto& sim = io_.device().host().sim();
+  start_teardown();
+  sim.run_while_pending(
+      [this] { return terminated_count_ >= calls_.size(); },
+      sim.now() + deadline);
+  finish_teardown();
+}
+
+void SipClient::start_teardown() {
   for (auto& [_, call] : calls_) {
     if (call->record.state == CallState::kEstablished)
       (void)send_request(*call, Method::kBye);
   }
-  sim.run_while_pending(
-      [this] { return terminated_count_ >= calls_.size(); },
-      sim.now() + deadline);
+}
+
+void SipClient::finish_teardown() {
   for (auto& [_, call] : calls_) (void)io_.close(call->fd);
   calls_.clear();
   stream_rx_.clear();

@@ -82,10 +82,23 @@ class SipClient {
   /// many reached Established within the deadline.
   std::size_t establish_calls(std::size_t n, TimeNs deadline);
 
+  /// Non-blocking half of establish_calls: create `n` calls and schedule
+  /// their paced INVITEs, but do not run the simulation. Returns how many
+  /// calls were created (socket exhaustion stops early). Cluster harnesses
+  /// use this to arm many clients and then drive one shared wait loop.
+  std::size_t start_calls(std::size_t n);
+
   /// BYE every held call and wait for the 200s.
   void teardown_all(TimeNs deadline);
 
+  /// Non-blocking teardown halves: send the BYEs now / release sockets and
+  /// call state once the owner has finished its own wait.
+  void start_teardown();
+  void finish_teardown();
+
   std::size_t established() const;
+  std::size_t terminated() const { return terminated_count_; }
+  std::size_t calls() const { return calls_.size(); }
 
  private:
   struct ClientCall {

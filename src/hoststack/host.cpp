@@ -2,15 +2,18 @@
 
 namespace dgiwarp::host {
 
-Host::Host(sim::Fabric& fabric, const std::string& name, CostModel costs)
+Host::Host(sim::Topology& topo, const std::string& name, CostModel costs)
     : costs_(costs),
-      index_(fabric.add_host(name)),
-      cpu_(fabric.sim()),
-      ctx_{fabric.sim(),  cpu_,          fabric.nic(index_),
-           costs_,        ledger_,       fabric.rng(),
-           fabric.addr(index_)},
+      index_(topo.add_host(name)),
+      cpu_(topo.sim()),
+      ctx_{topo.sim(),  cpu_,          topo.nic(index_),
+           costs_,      ledger_,       topo.rng(),
+           topo.addr(index_)},
       ip_(ctx_),
       udp_(ctx_, ip_),
       tcp_(ctx_, ip_) {}
+
+Host::Host(sim::Fabric& fabric, const std::string& name, CostModel costs)
+    : Host(fabric.topology(), name, costs) {}
 
 }  // namespace dgiwarp::host

@@ -12,7 +12,10 @@ namespace dgiwarp::host {
 
 class Host {
  public:
-  /// Attach a new host to `fabric` (creates the NIC + switch port).
+  /// Attach a new host to `topo` (creates the NIC and its leaf-switch
+  /// port; placement is the topology's round-robin policy).
+  Host(sim::Topology& topo, const std::string& name, CostModel costs = {});
+  /// Two-endpoint convenience: attach through the Fabric adapter.
   Host(sim::Fabric& fabric, const std::string& name, CostModel costs = {});
 
   u32 addr() const { return ctx_.ip; }

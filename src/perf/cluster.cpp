@@ -1,0 +1,166 @@
+#include "perf/cluster.hpp"
+
+#include "isock/isock.hpp"
+
+namespace dgiwarp::perf {
+
+struct ClusterHarness::Tenant {
+  std::unique_ptr<verbs::Node> server_node;
+  std::unique_ptr<verbs::Node> client_node;
+  std::unique_ptr<isock::ISockStack> server_io;
+  std::unique_ptr<isock::ISockStack> client_io;
+  std::unique_ptr<sip::SipServer> sip_server;
+  std::unique_ptr<sip::SipClient> sip_client;
+  std::unique_ptr<media::MediaServer> media_server;
+  std::unique_ptr<media::MediaClient> media_client;
+  std::shared_ptr<media::MediaClient::Stream> stream;
+};
+
+ClusterHarness::ClusterHarness(ClusterConfig cfg)
+    : cfg_(cfg), topo_(cfg.topo) {}
+
+ClusterHarness::~ClusterHarness() = default;
+
+void ClusterHarness::build_tenants() {
+  isock::ISockConfig scfg;
+  scfg.pool_slots = cfg_.pool_slots;
+  scfg.slot_bytes = cfg_.slot_bytes;
+
+  for (std::size_t i = 0; i < cfg_.pairs; ++i) {
+    auto t = std::make_unique<Tenant>();
+    verbs::NodeSpec spec;
+    spec.dev = cfg_.dev;
+    spec.name = "srv" + std::to_string(i);
+    t->server_node = std::make_unique<verbs::Node>(topo_, spec);
+    spec.name = "cli" + std::to_string(i);
+    t->client_node = std::make_unique<verbs::Node>(topo_, spec);
+    t->server_io =
+        std::make_unique<isock::ISockStack>(t->server_node->device(), scfg);
+    t->client_io =
+        std::make_unique<isock::ISockStack>(t->client_node->device(), scfg);
+    tenants_.push_back(std::move(t));
+  }
+}
+
+bool ClusterHarness::chunked_wait(const std::function<bool()>& done,
+                                  TimeNs deadline) {
+  auto& sim = topo_.sim();
+  // Fixed 1 ms quanta: at thousands of concurrent calls, evaluating the
+  // completion predicate after every event (run_while_pending) dominates
+  // the run; between chunks it is evaluated once.
+  while (!done()) {
+    if (sim.now() >= deadline) return false;
+    if (sim.idle()) return done();
+    sim.run_until(std::min<TimeNs>(sim.now() + kMillisecond, deadline));
+  }
+  return true;
+}
+
+ClusterReport ClusterHarness::run_sip() {
+  build_tenants();
+  auto& sim = topo_.sim();
+
+  for (auto& t : tenants_) {
+    t->sip_server = std::make_unique<sip::SipServer>(*t->server_io,
+                                                     cfg_.transport, cfg_.sip);
+    (void)t->sip_server->start();
+  }
+  // Same settle gap the two-endpoint SIP benches use before dialling.
+  sim.run_until(sim.now() + 2 * kMillisecond);
+
+  const TimeNs dial_start = sim.now();
+  for (auto& t : tenants_) {
+    t->sip_client = std::make_unique<sip::SipClient>(
+        *t->client_io, cfg_.transport,
+        t->server_node->host().endpoint(cfg_.sip.server_port), cfg_.sip);
+    t->sip_client->start_calls(cfg_.calls_per_pair);
+  }
+
+  auto all_up = [this] {
+    for (const auto& t : tenants_)
+      if (t->sip_client->established() < t->sip_client->calls()) return false;
+    return true;
+  };
+  chunked_wait(all_up, dial_start + cfg_.deadline);
+
+  ClusterReport rep;
+  rep.nodes = topo_.hosts();
+  rep.calls_requested = cfg_.pairs * cfg_.calls_per_pair;
+  rep.setup_time = sim.now() - dial_start;
+  for (auto& t : tenants_) {
+    TenantStats ts;
+    ts.name = t->server_node->name();
+    ts.established = t->sip_client->established();
+    ts.server_total = t->server_node->host().ledger().total();
+    ts.server_app = t->server_node->host().ledger().category("sip.call");
+    ts.client_total = t->client_node->host().ledger().total();
+    rep.established += ts.established;
+    rep.server_mem_total += ts.server_total;
+    rep.tenants.push_back(std::move(ts));
+  }
+
+  for (auto& t : tenants_) t->sip_client->start_teardown();
+  auto all_down = [this] {
+    for (const auto& t : tenants_)
+      if (t->sip_client->terminated() < t->sip_client->calls()) return false;
+    return true;
+  };
+  chunked_wait(all_down, sim.now() + cfg_.deadline);
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    rep.tenants[i].terminated = tenants_[i]->sip_client->terminated();
+    rep.terminated += rep.tenants[i].terminated;
+    tenants_[i]->sip_client->finish_teardown();
+  }
+
+  rep.events = sim.events_executed();
+  rep.virtual_time = sim.now();
+  return rep;
+}
+
+ClusterReport ClusterHarness::run_media() {
+  build_tenants();
+  auto& sim = topo_.sim();
+  constexpr u16 kMediaPort = 9000;
+
+  for (auto& t : tenants_) {
+    t->media_server =
+        std::make_unique<media::MediaServer>(*t->server_io, cfg_.media);
+    // Serve 2x the prebuffer: datagram drops at the receive pool must not
+    // leave a client short of its watermark.
+    (void)t->media_server->serve_udp(kMediaPort, cfg_.media_prebuffer * 2);
+  }
+  sim.run_until(sim.now() + 2 * kMillisecond);
+
+  for (auto& t : tenants_) {
+    t->media_client = std::make_unique<media::MediaClient>(*t->client_io);
+    t->stream = t->media_client->start_udp(
+        t->server_node->host().endpoint(kMediaPort), cfg_.media_prebuffer);
+  }
+
+  auto all_buffered = [this] {
+    for (const auto& t : tenants_)
+      if (t->stream && !t->stream->done()) return false;
+    return true;
+  };
+  chunked_wait(all_buffered, sim.now() + cfg_.deadline);
+
+  ClusterReport rep;
+  rep.nodes = topo_.hosts();
+  for (auto& t : tenants_) {
+    if (!t->stream) continue;
+    t->media_client->finish(t->stream);
+    if (t->stream->result.completed) ++rep.streams_completed;
+    rep.media_bytes += t->stream->result.bytes_received;
+    TenantStats ts;
+    ts.name = t->server_node->name();
+    ts.server_total = t->server_node->host().ledger().total();
+    ts.client_total = t->client_node->host().ledger().total();
+    rep.server_mem_total += ts.server_total;
+    rep.tenants.push_back(std::move(ts));
+  }
+  rep.events = sim.events_executed();
+  rep.virtual_time = sim.now();
+  return rep;
+}
+
+}  // namespace dgiwarp::perf

@@ -1,0 +1,102 @@
+// ClusterHarness: drive many application workloads concurrently inside ONE
+// Simulation over a multi-switch Topology.
+//
+// The two-endpoint Rig (perf/harness.hpp) answers "how fast is one
+// transfer"; this harness answers the scale questions (bench/fig12_scale):
+// K SIP server/client pairs — or K media streams — spread round-robin
+// across the topology's leaf switches, all running at once, with per-tenant
+// memory accounted through each host's MemLedger. Every pair is one
+// "tenant": its own pair of hosts, devices and socket stacks, so ledger
+// totals isolate cleanly.
+//
+// Determinism: one seeded Topology, one event queue, no wall-clock input —
+// two runs with the same ClusterConfig produce identical metrics JSON.
+// The establish/teardown waits advance the clock in fixed 1 ms chunks
+// instead of testing a predicate after every event, which keeps the wait
+// O(events) even with thousands of in-flight calls.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/media/media.hpp"
+#include "apps/sip/agents.hpp"
+#include "simnet/topology.hpp"
+#include "verbs/node.hpp"
+
+namespace dgiwarp::perf {
+
+struct ClusterConfig {
+  sim::Topology::Params topo;      // leaves, trunk LAG width, seed...
+  std::size_t pairs = 4;           // tenants (server+client each)
+  std::size_t calls_per_pair = 8;  // concurrent SIP calls per tenant
+  sip::Transport transport = sip::Transport::kUd;
+  sip::SipConfig sip;
+  verbs::DeviceConfig dev;
+  /// Socket-stack pool geometry; fig11's small-ring defaults suit SIP.
+  std::size_t pool_slots = 2;
+  std::size_t slot_bytes = 2048;
+  TimeNs deadline = 120 * kSecond;
+  /// Media mode (run_media): stream size each client prebuffers.
+  std::size_t media_prebuffer = 256 * 1024;
+  media::StreamParams media;
+};
+
+/// One tenant's ledger snapshot, taken at peak (all calls up).
+struct TenantStats {
+  std::string name;
+  i64 server_total = 0;  // whole-stack server memory (MemLedger)
+  i64 server_app = 0;    // "sip.call" application bookkeeping only
+  i64 client_total = 0;
+  std::size_t established = 0;
+  std::size_t terminated = 0;
+};
+
+struct ClusterReport {
+  std::size_t nodes = 0;         // hosts stood up (2 * pairs)
+  std::size_t calls_requested = 0;
+  std::size_t established = 0;   // across all tenants, at peak
+  std::size_t terminated = 0;
+  u64 events = 0;                // simulation events executed
+  TimeNs setup_time = 0;         // first INVITE scheduled -> all up
+  TimeNs virtual_time = 0;       // sim.now() at the end of the run
+  i64 server_mem_total = 0;      // sum of tenant server ledgers at peak
+  std::vector<TenantStats> tenants;
+  /// Media mode: aggregate client results.
+  std::size_t streams_completed = 0;
+  std::size_t media_bytes = 0;
+};
+
+class ClusterHarness {
+ public:
+  explicit ClusterHarness(ClusterConfig cfg);
+  ~ClusterHarness();
+
+  /// Establish pairs*calls_per_pair SIP calls concurrently, snapshot
+  /// per-tenant memory at peak, then tear everything down.
+  ClusterReport run_sip();
+
+  /// Stream one UDP media session per pair until every client prebuffers.
+  ClusterReport run_media();
+
+  sim::Topology& topology() { return topo_; }
+  /// Deterministic metrics snapshot (the double-run identity gate).
+  std::string metrics_json() const {
+    return topo_.sim().telemetry().to_json();
+  }
+
+ private:
+  struct Tenant;
+
+  void build_tenants();
+  /// Advance the clock in fixed chunks until done() or the deadline.
+  bool chunked_wait(const std::function<bool()>& done, TimeNs deadline);
+
+  ClusterConfig cfg_;
+  sim::Topology topo_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace dgiwarp::perf

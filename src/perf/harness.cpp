@@ -100,11 +100,11 @@ struct Rig {
 
   void enable_loss() {
     if (opts_.data_faults) {
-      fabric_.set_egress_faults(0, opts_.data_faults());
+      fabric_.uplink(0).set_faults(opts_.data_faults());
     } else if (opts_.loss_rate > 0.0) {
-      fabric_.set_egress_faults(0, sim::Faults::bernoulli(opts_.loss_rate));
+      fabric_.uplink(0).set_faults(sim::Faults::bernoulli(opts_.loss_rate));
     }
-    if (opts_.ack_faults) fabric_.set_egress_faults(1, opts_.ack_faults());
+    if (opts_.ack_faults) fabric_.uplink(1).set_faults(opts_.ack_faults());
   }
 
   sim::Simulation& sim() { return fabric_.sim(); }

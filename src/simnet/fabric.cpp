@@ -4,26 +4,19 @@ namespace dgiwarp::sim {
 
 Fabric::Fabric() : Fabric(Params{}) {}
 
-Fabric::Fabric(Params params) : params_(params), rng_(params.seed) {
-  switch_ = std::make_unique<Switch>(sim_, rng_, params_.switch_latency,
-                                     "switch0");
-}
+Fabric::Fabric(Params params)
+    : topo_(Topology::Params{params.link, params.link, params.switch_latency,
+                             params.seed, /*leaves=*/1, /*trunk_cables=*/1,
+                             Switch::kDefaultFdbCapacity}) {}
 
-std::size_t Fabric::add_host(const std::string& name) {
-  const std::size_t index = nics_.size();
-  const LinkAddr addr = static_cast<LinkAddr>(index + 1);
-  nics_.push_back(std::make_unique<Nic>(addr, name));
-  nics_.back()->bind_telemetry(sim_.telemetry());
-  switch_->attach(*nics_.back(), params_.link);
-  return index;
-}
-
+// Implemented through the topology directly so the definitions don't trip
+// their own deprecation warnings.
 void Fabric::set_egress_faults(std::size_t host, Faults f) {
-  switch_->uplink(host).set_faults(std::move(f));
+  topo_.host_uplink(host).set_faults(std::move(f));
 }
 
 void Fabric::set_ingress_faults(std::size_t host, Faults f) {
-  switch_->downlink(host).set_faults(std::move(f));
+  topo_.host_downlink(host).set_faults(std::move(f));
 }
 
 }  // namespace dgiwarp::sim

@@ -1,16 +1,19 @@
-// Fabric: convenience builder for the experiment topologies.
+// Fabric: the original two-endpoint testbed builder, now a thin adapter
+// over sim::Topology (single leaf switch, one cable per host). Existing
+// experiments keep compiling — and keep producing byte-identical seeded
+// output — while new code can reach the full node-array API through
+// topology().
 //
-// The standard topology is the paper's: N hosts, one 10GE switch, one cable
-// per host. Hosts are created with an address (1-based) and a NIC; the
-// hoststack layers on top of the NIC.
+// Fault attachment moved to first-class LinkRef handles:
+//   fabric.uplink(host).set_faults(...)    // host -> switch direction
+//   fabric.downlink(host).set_faults(...)  // switch -> host direction
+// The old set_egress_faults / set_ingress_faults index-pair calls remain as
+// deprecated shims.
 #pragma once
 
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "common/rng.hpp"
-#include "simnet/switch.hpp"
+#include "simnet/topology.hpp"
 
 namespace dgiwarp::sim {
 
@@ -25,30 +28,36 @@ class Fabric {
   explicit Fabric(Params params);
   Fabric();  // default parameters (10GE, 500 ns switch)
 
-  Simulation& sim() { return sim_; }
-  Rng& rng() { return rng_; }
+  Simulation& sim() { return topo_.sim(); }
+  Rng& rng() { return topo_.rng(); }
 
   /// Add a host; returns its index. The host's link address is index + 1.
-  std::size_t add_host(const std::string& name);
+  std::size_t add_host(const std::string& name) {
+    return topo_.add_host(name);
+  }
 
-  Nic& nic(std::size_t host) { return *nics_[host]; }
-  LinkAddr addr(std::size_t host) const { return nics_[host]->addr(); }
-  std::size_t hosts() const { return nics_.size(); }
+  Nic& nic(std::size_t host) { return topo_.nic(host); }
+  LinkAddr addr(std::size_t host) const { return topo_.addr(host); }
+  std::size_t hosts() const { return topo_.hosts(); }
 
-  /// Inject faults on the host->switch direction for `host` (the analogue
-  /// of the paper's tc egress drop on the sender).
+  /// host -> switch direction of `host`'s cable (the analogue of the
+  /// paper's tc egress drop on the sender).
+  LinkRef uplink(std::size_t host) { return topo_.host_uplink(host); }
+  /// switch -> host direction (receiver-side faults).
+  LinkRef downlink(std::size_t host) { return topo_.host_downlink(host); }
+
+  [[deprecated("use fabric.uplink(host).set_faults(...)")]]
   void set_egress_faults(std::size_t host, Faults f);
-  /// Inject faults on the switch->host direction (receiver-side drop).
+  [[deprecated("use fabric.downlink(host).set_faults(...)")]]
   void set_ingress_faults(std::size_t host, Faults f);
 
-  Switch& fabric_switch() { return *switch_; }
+  Switch& fabric_switch() { return topo_.leaf(0); }
+
+  /// The full node-array API underneath this adapter.
+  Topology& topology() { return topo_; }
 
  private:
-  Params params_;
-  Simulation sim_;
-  Rng rng_;
-  std::unique_ptr<Switch> switch_;
-  std::vector<std::unique_ptr<Nic>> nics_;
+  Topology topo_;
 };
 
 }  // namespace dgiwarp::sim

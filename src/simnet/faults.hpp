@@ -281,6 +281,21 @@ struct Faults {
   TimeNs jitter = 0;                // uniform [0, jitter) added per frame
   double dup_rate = 0.0;            // probability a frame is delivered twice
   TimeNs dup_delay = 2 * kMicrosecond;  // lag of the duplicate copy
+  /// Dedicated RNG for this fault configuration. When set, every stochastic
+  /// decision (loss, corruption, jitter, reorder, duplication) draws from it
+  /// instead of the fabric-wide stream, so faults on one link can never
+  /// perturb the seeded draw sequence observed by traffic elsewhere in the
+  /// topology. Null (the default) keeps the legacy shared-stream behaviour,
+  /// which the fig5-fig11 byte-identical reproductions depend on.
+  std::unique_ptr<Rng> rng;
+
+  /// Give this configuration its own deterministic draw stream (fault
+  /// isolation across links). Returns *this for chaining:
+  ///   topo.trunk_up(0).set_faults(sim::Faults::bernoulli(0.05).isolated(7));
+  Faults&& isolated(u64 seed) && {
+    rng = std::make_unique<Rng>(seed);
+    return std::move(*this);
+  }
 
   static Faults none() { return {}; }
   static Faults bernoulli(double p) {

@@ -23,6 +23,12 @@ TimeNs Link::serialization_delay(std::size_t wire_bytes) const {
   return static_cast<TimeNs>(bits / params_.bandwidth_bps * 1e9);
 }
 
+std::size_t Link::queue_depth() const {
+  while (!departures_.empty() && departures_.front() <= sim_.now())
+    departures_.pop_front();
+  return departures_.size();
+}
+
 void Link::transmit(Frame f) {
   ++stats_.frames_offered;
 
@@ -30,6 +36,16 @@ void Link::transmit(Frame f) {
   const TimeNs start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
   const TimeNs tx_done = start + serialization_delay(f.wire_bytes());
   busy_until_ = tx_done;
+
+  // Per-port output-queue depth: this frame occupies the output queue until
+  // its serialization finishes. Pruned lazily against now() at observation
+  // points, so no extra simulation events are scheduled to maintain it.
+  while (!departures_.empty() && departures_.front() <= sim_.now())
+    departures_.pop_front();
+  departures_.push_back(tx_done);
+  if (departures_.size() > max_depth_) max_depth_ = departures_.size();
+  sim_.telemetry().gauge("simnet.link.queue_depth")
+      .set(static_cast<double>(departures_.size()));
 
   auto& reg = sim_.telemetry();
   auto& spans = reg.spans();
@@ -47,7 +63,8 @@ void Link::transmit(Frame f) {
   // the span's queueing phase is exact even though transmit() runs now.
   if (f.span) spans.stage_at(f.span, telemetry::Stage::kWireTx, start, f.id);
 
-  if (faults_.loss && faults_.loss->should_drop(rng_, sim_.now())) {
+  Rng& frng = fault_rng();
+  if (faults_.loss && faults_.loss->should_drop(frng, sim_.now())) {
     ++stats_.frames_dropped;
     reg.trace().record(telemetry::TraceKind::kLinkDrop, f.id, f.wire_bytes());
     if (f.span)
@@ -61,7 +78,7 @@ void Link::transmit(Frame f) {
   // consults the corruption model, and serialization time was charged for
   // the original length even if the model truncates the tail.
   if (faults_.corruption && !f.payload.empty() &&
-      faults_.corruption->corrupt(rng_, sim_.now(), f.payload)) {
+      faults_.corruption->corrupt(frng, sim_.now(), f.payload)) {
     f.corrupted = true;
     ++stats_.frames_corrupted;
     reg.trace().record(telemetry::TraceKind::kLinkCorrupt, f.id,
@@ -71,13 +88,13 @@ void Link::transmit(Frame f) {
   }
 
   TimeNs arrive = tx_done + params_.propagation;
-  if (faults_.jitter > 0) arrive += rng_.range(0, faults_.jitter - 1);
-  if (faults_.reorder_rate > 0.0 && rng_.chance(faults_.reorder_rate))
+  if (faults_.jitter > 0) arrive += frng.range(0, faults_.jitter - 1);
+  if (faults_.reorder_rate > 0.0 && frng.chance(faults_.reorder_rate))
     arrive += faults_.reorder_delay;
 
   // Frame duplication (e.g. L2 flooding / retransmitting middleboxes): a
   // second identical copy arrives `dup_delay` after the original.
-  if (faults_.dup_rate > 0.0 && rng_.chance(faults_.dup_rate)) {
+  if (faults_.dup_rate > 0.0 && frng.chance(faults_.dup_rate)) {
     ++stats_.frames_duplicated;
     sim_.at(arrive + faults_.dup_delay, [this, fr = f]() mutable {
       ++stats_.frames_delivered;

@@ -2,6 +2,7 @@
 // fault injection. Two of these form a full-duplex cable.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <string>
 
@@ -49,8 +50,21 @@ class Link {
 
   const LinkStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
+  const LinkParams& params() const { return params_; }
+
+  /// Frames accepted but not yet fully serialized onto the wire (the
+  /// output-queue depth a switch port would show right now). Exact at
+  /// observation time: departures up to now() are pruned lazily, no extra
+  /// simulation events are scheduled to maintain it.
+  std::size_t queue_depth() const;
+  /// High-water mark of queue_depth() over the link's lifetime.
+  std::size_t max_queue_depth() const { return max_depth_; }
 
  private:
+  /// Fault decisions draw from the fault config's dedicated stream when one
+  /// was installed (Faults::isolated), else from the fabric-wide stream.
+  Rng& fault_rng() { return faults_.rng ? *faults_.rng : rng_; }
+
   Simulation& sim_;
   Rng& rng_;
   LinkParams params_;
@@ -59,6 +73,40 @@ class Link {
   Faults faults_;
   TimeNs busy_until_ = 0;
   LinkStats stats_;
+  mutable std::deque<TimeNs> departures_;  // tx_done of queued frames
+  std::size_t max_depth_ = 0;
+};
+
+/// First-class handle to one direction of one cable. This is the public
+/// fault-injection and inspection surface of the topology API: builders
+/// (Topology, Fabric) hand out LinkRefs instead of (index, direction) pairs,
+/// and the handle stays valid for the lifetime of the owning topology.
+class LinkRef {
+ public:
+  LinkRef() = default;
+  explicit LinkRef(Link* link) : link_(link) {}
+
+  explicit operator bool() const { return link_ != nullptr; }
+  bool valid() const { return link_ != nullptr; }
+
+  /// Install a fault configuration on this link direction (replacing any
+  /// previous one). See Faults::isolated for per-link draw streams.
+  void set_faults(Faults f) const { link_->set_faults(std::move(f)); }
+
+  const LinkStats& stats() const { return link_->stats(); }
+  const std::string& name() const { return link_->name(); }
+  std::size_t queue_depth() const { return link_->queue_depth(); }
+  std::size_t max_queue_depth() const { return link_->max_queue_depth(); }
+  TimeNs serialization_delay(std::size_t wire_bytes) const {
+    return link_->serialization_delay(wire_bytes);
+  }
+
+  /// Escape hatch for code that needs the underlying object (the harness
+  /// wiring receivers, tests asserting identity).
+  Link* get() const { return link_; }
+
+ private:
+  Link* link_ = nullptr;
 };
 
 }  // namespace dgiwarp::sim

@@ -1,8 +1,20 @@
 // Learning Ethernet switch. The paper's testbed put a Fujitsu 10GE switch
 // between the two hosts; this reproduces its forwarding behaviour (address
-// learning, per-port output queues, fixed forwarding latency).
+// learning, per-port output queues, fixed forwarding latency) and extends
+// it with the two things a datacenter topology needs:
+//   * trunk ports — LAG groups of parallel cables toward another switch,
+//     wired by sim::Topology; frames spread across LAG members by a
+//     deterministic per-flow hash so one flow's frames never reorder;
+//   * a bounded forwarding database — real switches have finite TCAM, so
+//     the FDB evicts its oldest entry once `fdb_capacity` addresses are
+//     learned (counted in simnet.switch.fdb_evictions) and traffic to an
+//     evicted address degrades to flooding, never to loss.
+// Invariant: neither forwarding nor flooding ever emits a frame back out
+// the port it arrived on.
 #pragma once
 
+#include <cassert>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -15,35 +27,67 @@ namespace dgiwarp::sim {
 
 class Switch {
  public:
+  /// 0 = unlimited (no eviction). The default comfortably holds the
+  /// thousand-node scale runs while still modelling a finite table.
+  static constexpr std::size_t kDefaultFdbCapacity = 4096;
+
   Switch(Simulation& sim, Rng& rng, TimeNs forwarding_latency,
-         std::string name);
+         std::string name, std::size_t fdb_capacity = kDefaultFdbCapacity);
 
   /// Create a duplex cable between `host` and a fresh switch port.
   /// Returns the port index.
   std::size_t attach(Nic& host, LinkParams params);
 
-  /// host -> switch direction of a port's cable (fault injection point for
-  /// "drop at the sender's egress", like the paper's tc setup).
-  Link& uplink(std::size_t port) { return *up_[port]; }
-  /// switch -> host direction.
-  Link& downlink(std::size_t port) { return *down_[port]; }
+  /// Register a trunk port whose egress is the LAG `cables` (this-switch ->
+  /// peer-switch links, owned by the topology). Frames arriving FROM the
+  /// peer are injected with deliver(). Returns the port index.
+  std::size_t add_trunk(std::vector<Link*> cables);
 
-  std::size_t ports() const { return up_.size(); }
+  /// Ingress entry point for trunk ports (invoked by the peer cable's
+  /// receiver, wired by sim::Topology).
+  void deliver(std::size_t port, Frame f) { on_ingress(port, std::move(f)); }
+
+  /// host -> switch direction of a HOST port's cable (fault injection point
+  /// for "drop at the sender's egress", like the paper's tc setup).
+  Link& uplink(std::size_t port) { return *ports_[port].up; }
+  /// switch -> host direction.
+  Link& downlink(std::size_t port) { return *ports_[port].down; }
+
+  std::size_t ports() const { return ports_.size(); }
+  bool is_trunk(std::size_t port) const { return ports_[port].trunk; }
+  const std::string& name() const { return name_; }
+
   u64 frames_forwarded() const { return forwarded_; }
   u64 frames_flooded() const { return flooded_; }
+  u64 fdb_evictions() const { return fdb_evictions_; }
+  std::size_t fdb_size() const { return fdb_.size(); }
+  std::size_t fdb_capacity() const { return fdb_capacity_; }
 
  private:
+  struct Port {
+    std::unique_ptr<Link> up;    // host -> switch (host ports only)
+    std::unique_ptr<Link> down;  // switch -> host (host ports only)
+    std::vector<Link*> egress;   // {down.get()} for hosts; the LAG for trunks
+    bool trunk = false;
+  };
+
   void on_ingress(std::size_t port, Frame f);
+  void learn(LinkAddr src, std::size_t port);
+  /// Egress LAG member for `f` on `port`: stable per-flow (src, dst) hash,
+  /// so a flow's frames share one cable and stay ordered.
+  Link& egress_link(std::size_t port, const Frame& f);
 
   Simulation& sim_;
   Rng& rng_;
   TimeNs latency_;
   std::string name_;
-  std::vector<std::unique_ptr<Link>> up_;    // host -> switch
-  std::vector<std::unique_ptr<Link>> down_;  // switch -> host
+  std::size_t fdb_capacity_;
+  std::vector<Port> ports_;
   std::unordered_map<LinkAddr, std::size_t> fdb_;
+  std::deque<LinkAddr> fdb_fifo_;  // learn order, drives eviction
   telemetry::Metric forwarded_;
   telemetry::Metric flooded_;
+  telemetry::Metric fdb_evictions_;
 };
 
 }  // namespace dgiwarp::sim

@@ -282,7 +282,7 @@ TEST(Media, PacedStreamRunsAtBitrate) {
 
 TEST(Media, LossyLinkProducesSequenceGaps) {
   MediaRig r;
-  r.fabric.set_egress_faults(0, sim::Faults::bernoulli(0.05));
+  r.fabric.uplink(0).set_faults(sim::Faults::bernoulli(0.05));
   media::StreamParams p;
   p.burst_start = true;
   media::MediaServer server(r.io_s, p);

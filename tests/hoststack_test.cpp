@@ -53,7 +53,7 @@ TEST(Udp, OversizeDatagramRejected) {
 TEST(Udp, FragmentLossDropsWholeDatagram) {
   Net n;
   // Drop exactly one mid-datagram fragment.
-  n.fabric.set_egress_faults(0, [] {
+  n.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{3});
     return f;
@@ -79,7 +79,7 @@ TEST(Udp, FragmentLossDropsWholeDatagram) {
 // get the exact payload or nothing.
 TEST(Udp, DuplicatedFragmentsDoNotCorruptReassembly) {
   Net n;
-  n.fabric.set_egress_faults(0, sim::Faults::duplicating(1.0));
+  n.fabric.uplink(0).set_faults(sim::Faults::duplicating(1.0));
   auto* sa = *n.a.udp().open(0);
   auto* sb = *n.b.udp().open(700);
   Bytes big = make_pattern(20'000, 5);  // 14 fragments, every one duplicated
@@ -176,7 +176,7 @@ TEST(Tcp, UnansweredConnectGivesUpWithTimeout) {
   // Black-hole everything a sends: SYNs vanish, so no RST ever comes back.
   // The consecutive-RTO cap must abort the connect instead of retrying
   // forever (which would also make sim().run() spin for eternity).
-  n.fabric.set_egress_faults(0, sim::Faults::bernoulli(1.0));
+  n.fabric.uplink(0).set_faults(sim::Faults::bernoulli(1.0));
   auto sock = *n.a.tcp().connect({n.b.addr(), 800});
   Status result = Status::Ok();
   bool connect_cb = false;
@@ -236,7 +236,7 @@ TEST(Tcp, RecoversFromPacketLoss) {
   p.n.a.tcp().set_min_rto(5 * kMillisecond);
   p.n.b.tcp().set_min_rto(5 * kMillisecond);
   p.connect();
-  p.n.fabric.set_egress_faults(0, sim::Faults::bernoulli(0.02));
+  p.n.fabric.uplink(0).set_faults(sim::Faults::bernoulli(0.02));
   const Bytes data = make_pattern(512 * KiB, 9);
   std::size_t sent = 0;
   std::function<void()> pump = [&] {
@@ -322,7 +322,7 @@ TEST(Tcp, ConnectionCountTracksLifecycle) {
 
 TEST(Ip, ReassemblyTimeoutExpiresPartials) {
   Net n;
-  n.fabric.set_egress_faults(0, [] {
+  n.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1});
     return f;

@@ -42,7 +42,7 @@ TEST(Integration, UdSurvivesFrameReordering) {
   f.reorder_rate = 0.3;
   f.reorder_delay = 40 * kMicrosecond;
   f.jitter = 5 * kMicrosecond;
-  r.fabric.set_egress_faults(0, std::move(f));
+  r.fabric.uplink(0).set_faults(std::move(f));
 
   // Multi-datagram message: datagram-level reordering across segments.
   Bytes msg = make_pattern(200 * KiB, 17);
@@ -74,7 +74,7 @@ TEST(Integration, WriteRecordUnderBurstLoss) {
   auto qb = *r.dev_b.create_ud_qp({&r.pd_b, &r.cq_b, &r.cq_b, 0, false});
   sim::Faults f;
   f.loss = std::make_unique<sim::GilbertElliottLoss>(0.002, 0.1, 0.0, 0.9);
-  r.fabric.set_egress_faults(0, std::move(f));
+  r.fabric.uplink(0).set_faults(std::move(f));
 
   Bytes region(512 * KiB, 0);
   auto mr = r.pd_b.register_memory(ByteSpan{region},
@@ -203,7 +203,7 @@ TEST(Integration, MediaOverReliableDatagramsSurvivesLoss) {
   host::Host server_host(fabric, "server"), client_host(fabric, "client");
   verbs::Device dev_s(server_host), dev_c(client_host);
   isock::ISockStack io_s(dev_s, cfg), io_c(dev_c, cfg);
-  fabric.set_egress_faults(0, sim::Faults::bernoulli(0.02));
+  fabric.uplink(0).set_faults(sim::Faults::bernoulli(0.02));
 
   media::StreamParams p;
   p.burst_start = false;
@@ -222,7 +222,7 @@ TEST(Integration, SipCallsSurviveLossViaRetransmission) {
   host::Host server_host(fabric, "server"), client_host(fabric, "client");
   verbs::Device dev_s(server_host), dev_c(client_host);
   isock::ISockStack io_s(dev_s), io_c(dev_c);
-  fabric.set_egress_faults(1, sim::Faults::bernoulli(0.15));  // client egress
+  fabric.uplink(1).set_faults(sim::Faults::bernoulli(0.15));  // client egress
 
   sip::SipConfig scfg;
   scfg.t1 = 20 * kMillisecond;  // keep the lossy test quick

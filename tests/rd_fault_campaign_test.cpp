@@ -92,8 +92,8 @@ void run_rd_campaign_case(const FaultCase& fc, bool ordered) {
   host::Host a(fabric, "a"), b(fabric, "b");
   host::UdpSocket* sa = *a.udp().open(100);
   host::UdpSocket* sb = *b.udp().open(100);
-  fabric.set_egress_faults(0, fc.data());
-  if (fc.ack) fabric.set_egress_faults(1, fc.ack());
+  fabric.uplink(0).set_faults(fc.data());
+  if (fc.ack) fabric.uplink(1).set_faults(fc.ack());
 
   rd::RdConfig cfg;
   cfg.ordered = ordered;
@@ -152,7 +152,7 @@ TEST(RdFaultCampaign, CasesAreDeterministic) {
     host::Host a(fabric, "a"), b(fabric, "b");
     host::UdpSocket* sa = *a.udp().open(100);
     host::UdpSocket* sb = *b.udp().open(100);
-    fabric.set_egress_faults(0, sim::Faults::bernoulli(0.05));
+    fabric.uplink(0).set_faults(sim::Faults::bernoulli(0.05));
     rd::RdConfig cfg;
     cfg.max_retries = 30;
     rd::ReliableDatagram rda(a.ctx(), *sa, cfg);

@@ -42,8 +42,8 @@ TEST(Rd, BasicDelivery) {
 
 TEST(Rd, ReliableUnderHeavyLoss) {
   RdNet n;
-  n.fabric.set_egress_faults(0, sim::Faults::bernoulli(0.3));
-  n.fabric.set_egress_faults(1, sim::Faults::bernoulli(0.3));  // acks too
+  n.fabric.uplink(0).set_faults(sim::Faults::bernoulli(0.3));
+  n.fabric.uplink(1).set_faults(sim::Faults::bernoulli(0.3));  // acks too
   n.cfg.max_retries = 30;
   n.init();
   std::vector<Bytes> got;
@@ -66,7 +66,7 @@ TEST(Rd, ReliableUnderHeavyLoss) {
 TEST(Rd, DuplicatesSuppressed) {
   RdNet n;
   // Drop all ACKs from b so a retransmits into a healthy data path.
-  n.fabric.set_egress_faults(1, sim::Faults::bernoulli(1.0));
+  n.fabric.uplink(1).set_faults(sim::Faults::bernoulli(1.0));
   n.cfg.max_retries = 3;
   n.init();
   int deliveries = 0;
@@ -81,7 +81,7 @@ TEST(Rd, DuplicatesSuppressed) {
 
 TEST(Rd, GiveUpNotifiesFailureHandler) {
   RdNet n;
-  n.fabric.set_egress_faults(0, sim::Faults::bernoulli(1.0));  // black hole
+  n.fabric.uplink(0).set_faults(sim::Faults::bernoulli(1.0));  // black hole
   n.cfg.max_retries = 2;
   n.init();
   int failures = 0;
@@ -159,7 +159,7 @@ TEST(Rd, UnorderedModeDeliversImmediately) {
   n.cfg.ordered = false;
   // Drop the first data frame: seq 1 is retransmitted later, but seq 2+
   // must not wait for it in unordered mode.
-  n.fabric.set_egress_faults(0, [] {
+  n.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1});
     return f;
@@ -193,7 +193,7 @@ TEST(Rd, OversizePayloadRejected) {
 TEST(Rd, UnorderedDedupeIsBoundedUnderDuplication) {
   RdNet n;
   n.cfg.ordered = false;
-  n.fabric.set_egress_faults(0, sim::Faults::duplicating(1.0));
+  n.fabric.uplink(0).set_faults(sim::Faults::duplicating(1.0));
   n.init();
   std::multiset<u32> got;
   n.rdb->on_datagram([&](rd::Endpoint, Bytes d, bool) {
@@ -222,7 +222,7 @@ TEST(Rd, GiveUpGapSkipResumesOrderedDelivery) {
   RdNet n;
   // a->b frame ordinals: 1..3 = data seq 1..3; 4..6 = retransmits of seq 1
   // (max_retries=3); ordinal 7 is the GAP-SKIP, which passes.
-  n.fabric.set_egress_faults(0, [] {
+  n.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1, 4, 5, 6});
     return f;
@@ -262,7 +262,7 @@ TEST(Rd, GiveUpGapSkipResumesOrderedDelivery) {
 // timeout is the fallback that unblocks delivery.
 TEST(Rd, ReceiverGapTimeoutRecoversWhenGapSkipIsLost) {
   RdNet n;
-  n.fabric.set_egress_faults(0, [] {
+  n.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(
         std::vector<u64>{1, 4, 5, 6, 7});  // 7 = the GAP-SKIP
@@ -290,7 +290,7 @@ TEST(Rd, ReceiverGapTimeoutRecoversWhenGapSkipIsLost) {
 // hole without waiting for the retransmission timer.
 TEST(Rd, DupAcksTriggerFastRetransmit) {
   RdNet n;
-  n.fabric.set_egress_faults(0, [] {
+  n.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1});
     return f;
@@ -313,7 +313,7 @@ TEST(Rd, DupAcksTriggerFastRetransmit) {
 // are recovered by retransmission once the hole closes.
 TEST(Rd, OrderedReorderBufferIsBounded) {
   RdNet n;
-  n.fabric.set_egress_faults(0, [] {
+  n.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1});
     return f;
@@ -388,8 +388,8 @@ TEST(Rd, AdaptiveRtoAvoidsSpuriousRetransmits) {
 TEST(Rd, SameSeedSameRetransmitCounts) {
   auto run = [] {
     RdNet n;
-    n.fabric.set_egress_faults(0, sim::Faults::bernoulli(0.05));
-    n.fabric.set_egress_faults(1, sim::Faults::bernoulli(0.05));
+    n.fabric.uplink(0).set_faults(sim::Faults::bernoulli(0.05));
+    n.fabric.uplink(1).set_faults(sim::Faults::bernoulli(0.05));
     n.cfg.max_retries = 30;
     n.init();
     std::vector<u8> got;
@@ -415,7 +415,7 @@ TEST(Rd, CumulativeAckRetiresEarlierDatagrams) {
   RdNet n;
   // Drop the ACKs for seq 1 and 2 (b->a ordinals 1 and 2); the ACK for
   // seq 3 then carries cum=3 and retires all three.
-  n.fabric.set_egress_faults(1, [] {
+  n.fabric.uplink(1).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{1, 2});
     return f;

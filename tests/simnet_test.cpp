@@ -385,10 +385,59 @@ TEST(Switch, LearnsAndForwards) {
   EXPECT_GE(fabric.fabric_switch().frames_forwarded(), 1u);
 }
 
+TEST(Switch, FdbCapacityEvictsOldestAndDegradesToFlooding) {
+  // A 2-entry FDB with three talkative hosts must evict FIFO-style; traffic
+  // to the evicted address floods (and still arrives) rather than dropping.
+  sim::Topology::Params p;
+  p.fdb_capacity = 2;
+  sim::Topology topo(p);
+  host::Host a(topo, "a"), b(topo, "b"), c(topo, "c");
+  auto* ua = *a.udp().open(100);
+  auto* ub = *b.udp().open(100);
+  auto* uc = *c.udp().open(100);
+  Bytes msg = bytes_of("x");
+
+  // Learn a, then b, then c: c's learn evicts a (the oldest entry).
+  (void)ua->send_to({b.addr(), 100}, ConstByteSpan{msg});
+  topo.sim().run();
+  (void)ub->send_to({a.addr(), 100}, ConstByteSpan{msg});
+  topo.sim().run();
+  (void)uc->send_to({b.addr(), 100}, ConstByteSpan{msg});
+  topo.sim().run();
+  EXPECT_EQ(topo.leaf(0).fdb_size(), 2u);
+  EXPECT_EQ(topo.leaf(0).fdb_evictions(), 1u);
+  EXPECT_EQ(topo.sim().telemetry().counter_value(
+                "simnet.switch.fdb_evictions"),
+            1u);
+
+  // b -> a now floods (a was evicted) but a still receives it.
+  const u64 flooded_before = topo.leaf(0).frames_flooded();
+  const u64 a_rx_before = ua->datagrams_received();
+  (void)ub->send_to({a.addr(), 100}, ConstByteSpan{msg});
+  topo.sim().run();
+  EXPECT_GT(topo.leaf(0).frames_flooded(), flooded_before);
+  EXPECT_EQ(ua->datagrams_received(), a_rx_before + 1);
+}
+
+TEST(Switch, FloodNeverReflectsOutIngressPort) {
+  sim::Fabric fabric;
+  host::Host a(fabric, "a"), b(fabric, "b"), c(fabric, "c");
+  auto* ua = *a.udp().open(100);
+  Bytes msg = bytes_of("x");
+  // Unknown destination: the frame floods to b and c. The sender's own
+  // downlink must carry nothing — a flood that reflected out its ingress
+  // port would echo traffic back at every sender.
+  (void)ua->send_to({b.addr(), 100}, ConstByteSpan{msg});
+  fabric.sim().run();
+  EXPECT_GE(fabric.fabric_switch().frames_flooded(), 1u);
+  EXPECT_EQ(fabric.downlink(0).stats().frames_delivered.value(), 0u);
+  EXPECT_EQ(fabric.nic(0).rx_frames(), 0u);
+}
+
 TEST(Fabric, EgressFaultsOnlyAffectThatDirection) {
   sim::Fabric fabric;
   host::Host a(fabric, "a"), b(fabric, "b");
-  fabric.set_egress_faults(0, sim::Faults::bernoulli(1.0));  // drop all a->*
+  fabric.uplink(0).set_faults(sim::Faults::bernoulli(1.0));  // drop all a->*
   auto* ua = *a.udp().open(100);
   auto* ub = *b.udp().open(100);
   Bytes msg = bytes_of("y");

@@ -47,7 +47,7 @@ TEST(UdQp, LostMessageRecoversReceiveBuffer) {
   auto qb = r.ud_pair_b();
   // Drop one mid-message wire fragment of a multi-datagram message: the
   // 128KB message = 2 datagrams; kill one fragment of the first.
-  r.fabric.set_egress_faults(0, [] {
+  r.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{5});
     return f;
@@ -74,7 +74,7 @@ TEST(UdQp, LostMessageRecoversReceiveBuffer) {
   EXPECT_EQ(qb->state(), verbs::QpState::kRts);
 
   // Prove it by sending again on a clean link.
-  r.fabric.set_egress_faults(0, sim::Faults::none());
+  r.fabric.uplink(0).set_faults(sim::Faults::none());
   ASSERT_TRUE(qb->post_recv(RecvWr{78, ByteSpan{sink}}).ok());
   ASSERT_TRUE(qa->post_send(wr).ok());
   r.fabric.sim().run();
@@ -93,7 +93,7 @@ TEST(UdQp, WriteRecordPartialPlacementEndToEnd) {
 
   // 192KB = 3 stack-level datagrams (~44 fragments each); kill one fragment
   // of the SECOND datagram so segment 2 dies but 1 and 3 (with LAST) land.
-  r.fabric.set_egress_faults(0, [] {
+  r.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{50});
     return f;
@@ -134,7 +134,7 @@ TEST(UdQp, WriteRecordLostFinalSegmentDropsRecord) {
   auto qb = r.ud_pair_b();
   // 128 KiB = datagrams of 45+45+1 wire fragments; kill the final
   // (notifying) datagram's single fragment, #91.
-  r.fabric.set_egress_faults(0, [] {
+  r.fabric.uplink(0).set_faults([] {
     sim::Faults f;
     f.loss = std::make_unique<sim::TargetedLoss>(std::vector<u64>{91});
     return f;
@@ -210,8 +210,8 @@ TEST(UdQp, InFlightCorruptionDroppedByCrcQpStaysUsable) {
   auto qb = r.ud_pair_b();
   // Wire layout: IP(20) + UDP(8) + DDP header(32) + payload; offset 62
   // strikes payload byte 2 of the first (and only) datagram.
-  r.fabric.set_egress_faults(
-      0, sim::Faults::targeted_corruption({{1, 62, 0xFF}}));
+  r.fabric.uplink(0).set_faults(
+      sim::Faults::targeted_corruption({{1, 62, 0xFF}}));
 
   Bytes sink(64, 0);
   ASSERT_TRUE(qb->post_recv(RecvWr{1, ByteSpan{sink}}).ok());
@@ -232,7 +232,7 @@ TEST(UdQp, InFlightCorruptionDroppedByCrcQpStaysUsable) {
 
   // Channel heals: the same QP delivers the next message into the still
   // outstanding receive buffer.
-  r.fabric.set_egress_faults(0, sim::Faults::none());
+  r.fabric.uplink(0).set_faults(sim::Faults::none());
   wr.wr_id = 11;
   ASSERT_TRUE(qa->post_send(wr).ok());
   r.fabric.sim().run();
@@ -250,8 +250,8 @@ TEST(UdQp, CrcOffMeasuresSilentCorruptionEscape) {
   Rig r(cfg);
   auto qa = r.ud_pair_a();
   auto qb = r.ud_pair_b();
-  r.fabric.set_egress_faults(
-      0, sim::Faults::targeted_corruption({{1, 62, 0xFF}}));
+  r.fabric.uplink(0).set_faults(
+      sim::Faults::targeted_corruption({{1, 62, 0xFF}}));
 
   Bytes sink(64, 0);
   ASSERT_TRUE(qb->post_recv(RecvWr{1, ByteSpan{sink}}).ok());
@@ -333,7 +333,7 @@ TEST(UdQp, ReliableModeDeliversUnderLoss) {
   Rig r(cfg);
   auto qa = r.ud_pair_a(/*reliable=*/true);
   auto qb = r.ud_pair_b(/*reliable=*/true);
-  r.fabric.set_egress_faults(0, sim::Faults::bernoulli(0.2));
+  r.fabric.uplink(0).set_faults(sim::Faults::bernoulli(0.2));
 
   // Single-fragment datagrams: at 20% frame loss a 32 KiB datagram (23
   // fragments) would almost never survive intact — RD retransmits whole
@@ -398,7 +398,7 @@ TEST(UdQp, RdmaReadExtensionTimesOutOnLoss) {
   Rig r(cfg);
   auto qa = r.ud_pair_a();
   auto qb = r.ud_pair_b();
-  r.fabric.set_egress_faults(1, sim::Faults::bernoulli(1.0));  // kill replies
+  r.fabric.uplink(1).set_faults(sim::Faults::bernoulli(1.0));  // kill replies
 
   Bytes remote_data(1024, 0);
   auto mr = r.pd_b.register_memory(ByteSpan{remote_data},
@@ -552,8 +552,8 @@ TEST(RcQp, CorruptedFpduFailsCrcAndTerminates) {
 
   // Strike the next a->b frame (the data FPDU) inside the TCP payload:
   // IP(20) + TCP(30) = 50, so offset 55 lands in the MPA/DDP bytes.
-  r.fabric.set_egress_faults(
-      0, sim::Faults::targeted_corruption({{1, 55, 0xFF}}));
+  r.fabric.uplink(0).set_faults(
+      sim::Faults::targeted_corruption({{1, 55, 0xFF}}));
 
   Bytes sink(64, 0);
   ASSERT_TRUE(server->post_recv(RecvWr{1, ByteSpan{sink}}).ok());
@@ -597,11 +597,11 @@ TEST(RcQp, CorruptedTerminateTearsDownWithoutLoop) {
 
   // a->b: corrupt the data FPDU. b->a (= a's ingress): corrupt every frame
   // for a while, so whichever frame carries the Terminate arrives damaged.
-  r.fabric.set_egress_faults(
-      0, sim::Faults::targeted_corruption({{1, 55, 0xFF}}));
+  r.fabric.uplink(0).set_faults(
+      sim::Faults::targeted_corruption({{1, 55, 0xFF}}));
   std::vector<sim::CorruptTarget> all;
   for (u64 i = 1; i <= 64; ++i) all.push_back({i, 55, 0x40});
-  r.fabric.set_ingress_faults(0, sim::Faults::targeted_corruption(all));
+  r.fabric.downlink(0).set_faults(sim::Faults::targeted_corruption(all));
 
   Bytes msg = make_pattern(64, 7);
   SendWr wr;
