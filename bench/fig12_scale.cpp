@@ -39,8 +39,10 @@ struct RunOutcome {
   std::string metrics;
 };
 
-RunOutcome run_once() {
-  perf::ClusterHarness cluster(scale_config());
+RunOutcome run_once(telemetry::TraceCapture* trace) {
+  perf::ClusterConfig cfg = scale_config();
+  cfg.trace = trace;
+  perf::ClusterHarness cluster(cfg);
   RunOutcome out;
   out.report = cluster.run_sip();
   out.metrics = cluster.metrics_json();
@@ -54,7 +56,14 @@ int main(int argc, char** argv) {
                 "extends the paper's 10000-call single-server memory "
                 "experiment (Fig. 11) to a 1000-node leaf-spine fabric");
 
-  const RunOutcome a = run_once();
+  // --trace-json: capture spans/trace/profiler. Both runs are captured with
+  // identical config — tracing changes which histograms accumulate, so the
+  // determinism comparison below is only valid if the runs match.
+  const std::string trace_path = bench::trace_json_path(argc, argv);
+  telemetry::TraceCapture capture;
+  telemetry::TraceCapture* trace = trace_path.empty() ? nullptr : &capture;
+
+  const RunOutcome a = run_once(trace);
   const auto& rep = a.report;
 
   std::printf("topology: %zu hosts, 8 leaves, 2-cable spine LAG\n",
@@ -101,7 +110,7 @@ int main(int argc, char** argv) {
 
   // Determinism gate: an identical second run must produce an identical
   // metrics registry (every counter, gauge and histogram bucket).
-  const RunOutcome b = run_once();
+  const RunOutcome b = run_once(trace);
   const bool identical = a.metrics == b.metrics &&
                          a.report.events == b.report.events &&
                          a.report.established == b.report.established;
@@ -120,6 +129,8 @@ int main(int argc, char** argv) {
       std::printf("\nmetrics written to %s\n", path.c_str());
     }
   }
+
+  if (trace) bench::dump_capture(capture, trace_path, "");
 
   if (!identical) {
     std::fprintf(stderr, "FAIL: seeded scale run is not deterministic\n");

@@ -1,0 +1,298 @@
+// Figure 13 (extension): K:1 incast over the leaf-spine trunk, with and
+// without congestion control.
+//
+// The paper runs datagram-iWARP over a single uncongested switch; its loss
+// experiments (Figs. 7-8) inject *random* loss. This bench creates the loss
+// mode the paper never measures — deterministic congestive loss from a many-
+// to-one traffic pattern — and shows the cc/ subsystem (ECN marking at the
+// trunk queue + DCQCN/Timely rate control in RD) taming it:
+//
+//   K senders on leaf0 blast one receiver on leaf1 through a single-cable
+//   trunk LAG whose output queue is bounded (tail drop) and ECN-marked.
+//   Per cc mode {off, dcqcn, timely} the run reports trunk drops/marks,
+//   CNPs, completion time, and Jain's fairness index over per-sender bytes
+//   delivered at the 75%-delivered point.
+//
+// Self-gates (process exits non-zero on violation):
+//   * every message delivers in every mode (reliability is not optional);
+//   * each mode is deterministic: a second identical run must produce a
+//     byte-identical metrics registry;
+//   * cc_mode=off drops frames at the congested trunk (the bench would be
+//     vacuous otherwise);
+//   * dcqcn and timely each cut trunk drops >= 5x at the same offered load;
+//   * dcqcn and timely each keep Jain's fairness index >= 0.9.
+//
+// --smoke runs each mode once, skipping the determinism re-runs and
+// ablations (ctest tier-1); --ablate appends the ECN-threshold and
+// Timely-beta parameter sweeps that EXPERIMENTS.md quotes;
+// --metrics-json <path> dumps the dcqcn registry.
+#include "bench_util.hpp"
+#include "hoststack/host.hpp"
+#include "rd/reliable.hpp"
+#include "simnet/topology.hpp"
+
+#include <map>
+#include <memory>
+
+using namespace dgiwarp;
+
+namespace {
+
+struct Setup {
+  std::size_t senders = 8;
+  // Synchronized request rounds — the incast pattern (all K respond to the
+  // same query at once). Every round each sender bursts `burst` messages;
+  // unpaced, a round's K*burst frames slam the trunk queue together.
+  std::size_t rounds = 30;
+  std::size_t burst = 20;                   // messages per sender per round
+  TimeNs round_interval = 2 * kMillisecond;
+  std::size_t msg_bytes = 1024;     // single-frame on the default MTU
+  // The trunk is 10x slower than the 10G host links: bandwidth
+  // oversubscription, not just fan-in, so the congestion survives the
+  // hosts' own CPU-limited send pacing.
+  double trunk_bps = 1e9;
+  std::size_t queue_capacity = 64;  // trunk_up(0) tail-drop bound (frames)
+  std::size_t ecn_threshold = 16;   // trunk_up(0) CE mark depth (frames)
+  cc::CcParams cc;                  // per-mode tuning (ablations tweak it)
+};
+
+struct IncastResult {
+  u64 drops = 0;       // tail drops at the congested trunk queue
+  u64 marks = 0;       // CE marks at the congested trunk queue
+  u64 cnps = 0;        // CNP-flagged ACKs the receiver sent
+  u64 retransmits = 0; // sender-side RD retries (all senders)
+  double jfi = 0.0;    // Jain's fairness index at 75% delivered
+  TimeNs finish = 0;   // virtual time when the last byte delivered
+  u64 events = 0;
+  bool all_delivered = false;
+  std::string metrics;
+};
+
+double jain_index(const std::map<u32, std::size_t>& per_sender) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& [ip, bytes] : per_sender) {
+    const double x = static_cast<double>(bytes);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n = static_cast<double>(per_sender.size());
+  return sum_sq > 0.0 ? (sum * sum) / (n * sum_sq) : 0.0;
+}
+
+IncastResult run_incast(cc::CcMode mode, const Setup& su) {
+  sim::Topology::Params tp;
+  tp.leaves = 2;
+  tp.trunk_cables = 1;
+  tp.trunk_link.bandwidth_bps = su.trunk_bps;
+  sim::Topology topo(tp);
+
+  // Round-robin placement (index % leaves): even indices land on leaf0,
+  // odd on leaf1. Senders take the even slots, the receiver takes index 1,
+  // and the remaining odd slots are idle pads that keep the alternation.
+  std::vector<std::unique_ptr<host::Host>> hosts;
+  std::vector<host::Host*> senders;
+  host::Host* receiver = nullptr;
+  for (std::size_t i = 0; i < 2 * su.senders; ++i) {
+    hosts.push_back(std::make_unique<host::Host>(
+        topo, (i % 2 == 0 ? "tx" : "pad") + std::to_string(i / 2)));
+    if (i % 2 == 0) senders.push_back(hosts.back().get());
+    if (i == 1) receiver = hosts.back().get();
+  }
+
+  // The congestion point: K x 10G offered into the single 1G trunk cable.
+  topo.trunk_up(0).set_queue_capacity(su.queue_capacity);
+  topo.trunk_up(0).set_ecn_threshold(su.ecn_threshold);
+
+  rd::RdConfig cfg;
+  cfg.cc_mode = mode;
+  cfg.cc = su.cc;
+  cfg.max_retries = 60;  // congestive loss is bursty; never give up here
+
+  constexpr u16 kPort = 100;
+  host::UdpSocket* rx_sock = *receiver->udp().open(kPort);
+  rd::ReliableDatagram rx_rd(receiver->ctx(), *rx_sock, cfg);
+
+  std::vector<std::unique_ptr<rd::ReliableDatagram>> tx_rd;
+  for (host::Host* h : senders) {
+    host::UdpSocket* s = *h->udp().open(kPort);
+    tx_rd.push_back(std::make_unique<rd::ReliableDatagram>(h->ctx(), *s, cfg));
+  }
+
+  const std::size_t offered =
+      su.senders * su.rounds * su.burst * su.msg_bytes;
+  std::size_t delivered = 0;
+  std::map<u32, std::size_t> per_sender;
+  IncastResult r;
+  bool snapped = false;
+  rx_rd.on_datagram([&](rd::Endpoint from, Bytes d, bool) {
+    delivered += d.size();
+    per_sender[from.ip] += d.size();
+    // Fairness snapshot at 75% delivered: event-driven (no wall clock, no
+    // sampling timer), so it is deterministic. Taken late enough that the
+    // round-1 transient (whoever lost the first bursts is head-of-line
+    // blocked behind a retransmit) has washed out, but while the trunk is
+    // still saturated.
+    if (!snapped && delivered * 4 >= offered * 3) {
+      snapped = true;
+      r.jfi = jain_index(per_sender);
+    }
+    if (delivered == offered) r.finish = topo.sim().now();
+  });
+
+  const Bytes payload = make_pattern(su.msg_bytes, 0x13);
+  const rd::Endpoint dst{receiver->addr(), kPort};
+  for (std::size_t round = 0; round < su.rounds; ++round) {
+    topo.sim().at(static_cast<TimeNs>(round) * su.round_interval,
+                  [&tx_rd, &payload, &su, dst] {
+                    for (std::size_t m = 0; m < su.burst; ++m)
+                      for (auto& rd_tx : tx_rd)
+                        (void)rd_tx->send_to(dst, ConstByteSpan{payload});
+                  });
+  }
+
+  topo.sim().run();
+
+  r.all_delivered = delivered == offered;
+  r.drops = topo.trunk_up(0).stats().queue_drops.value();
+  r.marks = topo.trunk_up(0).stats().frames_marked.value();
+  r.cnps = rx_rd.stats().cnps_tx.value();
+  for (auto& rd_tx : tx_rd) r.retransmits += rd_tx->stats().retransmits.value();
+  r.events = topo.sim().events_executed();
+  r.metrics = topo.sim().telemetry().to_json();
+  return r;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == flag) return true;
+  return false;
+}
+
+void print_row(TablePrinter& t, const char* label, const IncastResult& r) {
+  t.add_row({label, std::to_string(r.drops), std::to_string(r.marks),
+             std::to_string(r.cnps), std::to_string(r.retransmits),
+             TablePrinter::fmt(r.jfi, 3),
+             r.all_delivered
+                 ? TablePrinter::fmt(static_cast<double>(r.finish) / 1e6, 2)
+                 : "n/a"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Figure 13 — 8:1 incast at the trunk, cc off/dcqcn/timely",
+                "beyond the paper: congestive (not random) loss, tamed by "
+                "the ECN + DCQCN/Timely subsystem");
+
+  const bool smoke = has_flag(argc, argv, "--smoke");
+  Setup su;
+  // The workload is round-bursty (2 ms between synchronized bursts), so
+  // DCQCN's datacenter-default clocks are rescaled to the round cadence:
+  // recovery slower than the round gap (or rates snap back to line between
+  // rounds and every round re-bursts the queue) and alpha decay slow
+  // enough to carry congestion memory across one round.
+  su.cc.dcqcn_rate_timer = 5 * kMillisecond;
+  su.cc.dcqcn_alpha_timer = 500 * kMicrosecond;
+  // Smoke keeps the full traffic shape — the drop/fairness gates measure a
+  // converged controller, and convergence needs the full 30 rounds — but
+  // runs each mode single-pass (no determinism re-runs, no ablations),
+  // about a third of the full bench's work.
+  (void)smoke;
+
+  struct ModeRun {
+    cc::CcMode mode;
+    IncastResult a;
+  };
+  std::vector<ModeRun> runs;
+  bool deterministic = true;
+  for (cc::CcMode mode :
+       {cc::CcMode::kOff, cc::CcMode::kDcqcn, cc::CcMode::kTimely}) {
+    ModeRun mr{mode, run_incast(mode, su)};
+    if (!smoke) {
+      // Determinism gate: byte-identical registry on an identical re-run.
+      const IncastResult b = run_incast(mode, su);
+      if (b.metrics != mr.a.metrics || b.events != mr.a.events) {
+        std::fprintf(stderr, "FAIL: cc_mode=%s run is not deterministic\n",
+                     cc::cc_mode_name(mode));
+        deterministic = false;
+      }
+    }
+    runs.push_back(std::move(mr));
+  }
+
+  std::printf("%zu senders x %zu rounds x %zu msgs x %zu B through a "
+              "%zu-frame trunk queue (CE mark at %zu)\n\n",
+              su.senders, su.rounds, su.burst, su.msg_bytes,
+              su.queue_capacity, su.ecn_threshold);
+  TablePrinter t({"cc_mode", "trunk drops", "CE marks", "CNPs", "retries",
+                  "JFI@75%", "finish ms"});
+  for (const auto& mr : runs) print_row(t, cc::cc_mode_name(mr.mode), mr.a);
+  t.print();
+
+  const IncastResult& off = runs[0].a;
+  const IncastResult& dcqcn = runs[1].a;
+  const IncastResult& timely = runs[2].a;
+
+  if (const std::string path = bench::metrics_json_path(argc, argv);
+      !path.empty()) {
+    if (FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(dcqcn.metrics.data(), 1, dcqcn.metrics.size(), f);
+      std::fclose(f);
+      std::printf("\ndcqcn metrics written to %s\n", path.c_str());
+    }
+  }
+
+  if (has_flag(argc, argv, "--ablate")) {
+    std::printf("\nablation: ECN mark threshold (dcqcn)\n");
+    TablePrinter ta({"threshold", "trunk drops", "CE marks", "CNPs",
+                     "retries", "JFI@75%", "finish ms"});
+    for (std::size_t thresh : {8ul, 16ul, 32ul}) {
+      Setup s2 = su;
+      s2.ecn_threshold = thresh;
+      const IncastResult r = run_incast(cc::CcMode::kDcqcn, s2);
+      print_row(ta, std::to_string(thresh).c_str(), r);
+    }
+    ta.print();
+
+    std::printf("\nablation: Timely beta (MD strength)\n");
+    TablePrinter tb({"beta", "trunk drops", "CE marks", "CNPs", "retries",
+                     "JFI@75%", "finish ms"});
+    for (double beta : {0.2, 0.5, 0.8}) {
+      Setup s2 = su;
+      s2.cc.timely_beta = beta;
+      const IncastResult r = run_incast(cc::CcMode::kTimely, s2);
+      print_row(tb, TablePrinter::fmt(beta, 1).c_str(), r);
+    }
+    tb.print();
+  }
+
+  // ---- gates ----
+  int rc = 0;
+  for (const auto& mr : runs)
+    if (!mr.a.all_delivered) {
+      std::fprintf(stderr, "FAIL: cc_mode=%s lost data\n",
+                   cc::cc_mode_name(mr.mode));
+      rc = 1;
+    }
+  if (!deterministic) rc = 1;
+  if (off.drops == 0) {
+    std::fprintf(stderr, "FAIL: no congestive drops with cc off — the "
+                         "incast is not incasting\n");
+    rc = 1;
+  }
+  for (const auto* r : {&dcqcn, &timely}) {
+    const char* name = r == &dcqcn ? "dcqcn" : "timely";
+    if (r->drops * 5 > off.drops) {
+      std::fprintf(stderr, "FAIL: %s drops %llu not >=5x below off (%llu)\n",
+                   name, static_cast<unsigned long long>(r->drops),
+                   static_cast<unsigned long long>(off.drops));
+      rc = 1;
+    }
+    if (r->jfi < 0.9) {
+      std::fprintf(stderr, "FAIL: %s JFI %.3f < 0.9\n", name, r->jfi);
+      rc = 1;
+    }
+  }
+  std::printf("\n%s\n", rc == 0 ? "all gates PASSED" : "GATES FAILED");
+  return rc;
+}

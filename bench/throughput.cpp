@@ -22,10 +22,11 @@ struct Sample {
   double wall_ms = 0.0;
   double virtual_ms = 0.0;
   double events_per_sec = 0.0;
+  std::string metrics;  // registry JSON, kept only when --metrics-json is set
 };
 
 Sample run_workload(const std::string& name, perf::ClusterConfig cfg,
-                    bool media) {
+                    bool media, bool keep_metrics) {
   perf::ClusterHarness cluster(cfg);
   const auto t0 = std::chrono::steady_clock::now();
   const perf::ClusterReport rep = media ? cluster.run_media()
@@ -41,6 +42,7 @@ Sample run_workload(const std::string& name, perf::ClusterConfig cfg,
   s.events_per_sec =
       s.wall_ms > 0.0 ? static_cast<double>(s.events) / (s.wall_ms / 1e3)
                       : 0.0;
+  if (keep_metrics) s.metrics = cluster.metrics_json();
   return s;
 }
 
@@ -51,6 +53,11 @@ int main(int argc, char** argv) {
                 "perf-trajectory speedometer (host-machine numbers, NOT "
                 "virtual time)");
 
+  // --metrics-json <path>: per-workload registry snapshots (the virtual-time
+  // side of each run is deterministic even though the wall times are not).
+  const std::string metrics_path = bench::metrics_json_path(argc, argv);
+  const bool keep_metrics = !metrics_path.empty();
+
   std::vector<Sample> samples;
 
   {
@@ -58,21 +65,22 @@ int main(int argc, char** argv) {
     cfg.pairs = 8;
     cfg.calls_per_pair = 25;
     cfg.transport = sip::Transport::kUd;
-    samples.push_back(run_workload("sip_ud_8x25", cfg, false));
+    samples.push_back(run_workload("sip_ud_8x25", cfg, false, keep_metrics));
   }
   {
     perf::ClusterConfig cfg;
     cfg.pairs = 8;
     cfg.calls_per_pair = 10;
     cfg.transport = sip::Transport::kRc;
-    samples.push_back(run_workload("sip_rc_8x10", cfg, false));
+    samples.push_back(run_workload("sip_rc_8x10", cfg, false, keep_metrics));
   }
   {
     perf::ClusterConfig cfg;
     cfg.pairs = 4;
     cfg.topo.leaves = 2;
     cfg.media_prebuffer = 512 * 1024;
-    samples.push_back(run_workload("media_ud_4x512k", cfg, true));
+    samples.push_back(run_workload("media_ud_4x512k", cfg, true,
+                                   keep_metrics));
   }
   {
     // Multi-leaf SIP: same tenant load as sip_ud_8x25 but crossing a
@@ -82,7 +90,8 @@ int main(int argc, char** argv) {
     cfg.calls_per_pair = 25;
     cfg.topo.leaves = 4;
     cfg.topo.trunk_cables = 2;
-    samples.push_back(run_workload("sip_ud_8x25_leafspine", cfg, false));
+    samples.push_back(run_workload("sip_ud_8x25_leafspine", cfg, false,
+                                   keep_metrics));
   }
 
   TablePrinter t({"workload", "events", "wall ms", "virtual ms",
@@ -129,6 +138,23 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "failed to write %s\n", out.c_str());
     return 1;
+  }
+
+  if (keep_metrics) {
+    if (FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+      std::fprintf(f, "{\n");
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        std::fprintf(f, "  \"%s\": %s%s\n", samples[i].name.c_str(),
+                     samples[i].metrics.c_str(),
+                     i + 1 < samples.size() ? "," : "");
+      }
+      std::fprintf(f, "}\n");
+      std::fclose(f);
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

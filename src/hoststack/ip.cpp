@@ -122,6 +122,7 @@ void IpLayer::on_frame(sim::Frame f) {
   if (single_fragment) {
     ++dgrams_rx_;
     SpanScope scope(ctx_, f.span);
+    EcnScope ecn_scope(ctx_, f.ecn);
     deliver(f.src, h.proto, Bytes(body.begin(), body.end()), f.corrupted);
     return;
   }
@@ -164,6 +165,7 @@ void IpLayer::on_frame(sim::Frame f) {
     return;
   }
   if (f.corrupted) p.tainted = true;
+  if (f.ecn) p.ecn = true;  // CE on any fragment marks the whole datagram
   if (f.span && p.span == 0) p.span = f.span;
   if (!body.empty())
     std::memcpy(p.data.data() + h.offset, body.data(), body.size());
@@ -172,10 +174,12 @@ void IpLayer::on_frame(sim::Frame f) {
   if (p.received >= p.total) {
     Bytes whole = std::move(p.data);
     const bool tainted = p.tainted;
+    const bool ecn = p.ecn;
     const u64 span = p.span;
     partials_.erase(it);
     ++dgrams_rx_;
     SpanScope scope(ctx_, span);
+    EcnScope ecn_scope(ctx_, ecn);
     deliver(f.src, h.proto, std::move(whole), tainted);
   }
 }

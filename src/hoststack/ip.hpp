@@ -36,6 +36,13 @@ struct HostCtx {
   // path re-establishes the scope from the frame around each deferred
   // delivery closure. Always 0 when span tracking is disabled.
   u64 active_span = 0;
+  // Congestion-experienced bit of the datagram currently being delivered
+  // up the receive path (Frame::ecn, OR-ed across fragments). Propagated
+  // ambiently like active_span — scoped by IP around deliver(), captured
+  // into UDP's deferred delivery closures — so transports (RD/UD) can read
+  // the mark without widening every handler signature. Always false when
+  // no link has an ECN threshold configured.
+  bool rx_ecn = false;
 };
 
 /// RAII scope for HostCtx::active_span: sets it for the dynamic extent of
@@ -53,6 +60,22 @@ class SpanScope {
  private:
   HostCtx& ctx_;
   u64 prev_;
+};
+
+/// RAII scope for HostCtx::rx_ecn, the receive-path twin of SpanScope: set
+/// for the dynamic extent of a delivery chain, restored on exit.
+class EcnScope {
+ public:
+  EcnScope(HostCtx& ctx, bool ecn) : ctx_(ctx), prev_(ctx.rx_ecn) {
+    ctx_.rx_ecn = ecn;
+  }
+  ~EcnScope() { ctx_.rx_ecn = prev_; }
+  EcnScope(const EcnScope&) = delete;
+  EcnScope& operator=(const EcnScope&) = delete;
+
+ private:
+  HostCtx& ctx_;
+  bool prev_;
 };
 
 /// IP protocol numbers used by the stack.
@@ -121,6 +144,7 @@ class IpLayer {
     std::size_t received = 0;    // distinct payload bytes received so far
     std::size_t total = 0;       // 0 until the last fragment arrives
     bool tainted = false;        // any contributing frame was corrupted
+    bool ecn = false;            // any contributing frame was CE-marked
     u64 span = 0;                // lifecycle span from contributing frames
     // Disjoint covered [begin, end) ranges. Duplicate or overlapping
     // fragments (duplicating links, retransmitting middleboxes) must not

@@ -176,9 +176,10 @@ void UdpLayer::on_datagram(u32 src_ip, Bytes dgram, bool tainted) {
   const Endpoint src{src_ip, h.src_port};
   const u16 dst_port = h.dst_port;
   // The delivery chain defers through a wakeup delay and a kernel charge;
-  // the lifecycle span (established by IP's deliver scope) is captured into
-  // the closures and re-scoped around the socket handler.
+  // the lifecycle span and ECN mark (established by IP's deliver scopes)
+  // are captured into the closures and re-scoped around the socket handler.
   const u64 span = c.active_span;
+  const bool ecn = c.rx_ecn;
   const telemetry::CostSite site{telemetry::CostLayer::kUdp,
                                  receiver_busy
                                      ? telemetry::CostActivity::kDeliver
@@ -188,19 +189,21 @@ void UdpLayer::on_datagram(u32 src_ip, Bytes dgram, bool tainted) {
   // Re-resolve the socket at delivery time: it may be closed while the
   // kernel-processing charge is still pending.
   c.sim.after(c.costs.rx_wakeup_delay, [this, cost, dst_port, src, tainted,
-                                        span, site,
+                                        span, ecn, site,
                                         p = std::move(payload)]() mutable {
     auto& spans = ctx_.sim.telemetry().spans();
     spans.stage(span, telemetry::Stage::kRxWakeup);
     ctx_.cpu.charge_kernel_then(
         cost, site,
-        [this, dst_port, src, tainted, span, p = std::move(p)]() mutable {
+        [this, dst_port, src, tainted, span, ecn,
+         p = std::move(p)]() mutable {
           ctx_.sim.telemetry().spans().stage(span,
                                             telemetry::Stage::kRxDeliver,
                                             p.size());
           auto sit = sockets_.find(dst_port);
           if (sit != sockets_.end()) {
             SpanScope scope(ctx_, span);
+            EcnScope ecn_scope(ctx_, ecn);
             sit->second->deliver(src, std::move(p), tainted);
           }
         });

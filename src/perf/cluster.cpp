@@ -17,9 +17,30 @@ struct ClusterHarness::Tenant {
 };
 
 ClusterHarness::ClusterHarness(ClusterConfig cfg)
-    : cfg_(cfg), topo_(cfg.topo) {}
+    : cfg_(cfg), topo_(cfg.topo) {
+  if (cfg_.trace) {
+    auto& reg = topo_.sim().telemetry();
+    reg.spans().enable();
+    reg.profiler().enable();
+    reg.trace().enable();
+  }
+}
 
 ClusterHarness::~ClusterHarness() = default;
+
+void ClusterHarness::absorb_trace() {
+  if (!cfg_.trace) return;
+  // Name a representative sample of nodes for process metadata; a 1000-host
+  // fleet would otherwise emit a thousand process rows for one trace.
+  std::vector<std::pair<u32, std::string>> nodes;
+  for (std::size_t i = 0; i < tenants_.size() && i < 4; ++i) {
+    nodes.emplace_back(tenants_[i]->server_node->host().addr(),
+                       tenants_[i]->server_node->name());
+    nodes.emplace_back(tenants_[i]->client_node->host().addr(),
+                       tenants_[i]->client_node->name());
+  }
+  cfg_.trace->absorb(topo_.sim().telemetry(), nodes);
+}
 
 void ClusterHarness::build_tenants() {
   isock::ISockConfig scfg;
@@ -114,6 +135,7 @@ ClusterReport ClusterHarness::run_sip() {
 
   rep.events = sim.events_executed();
   rep.virtual_time = sim.now();
+  absorb_trace();
   return rep;
 }
 
@@ -160,6 +182,7 @@ ClusterReport ClusterHarness::run_media() {
   }
   rep.events = sim.events_executed();
   rep.virtual_time = sim.now();
+  absorb_trace();
   return rep;
 }
 

@@ -24,6 +24,7 @@
 #include "apps/media/media.hpp"
 #include "apps/sip/agents.hpp"
 #include "simnet/topology.hpp"
+#include "telemetry/trace_export.hpp"
 #include "verbs/node.hpp"
 
 namespace dgiwarp::perf {
@@ -42,6 +43,12 @@ struct ClusterConfig {
   /// Media mode (run_media): stream size each client prebuffers.
   std::size_t media_prebuffer = 256 * 1024;
   media::StreamParams media;
+  /// --trace-json support (parity with perf::Options::trace): when set, the
+  /// harness enables spans + profiler + trace ring before any traffic and
+  /// folds the run into this capture at the end of run_sip()/run_media().
+  /// Enabling changes which histograms accumulate, so keep it identical
+  /// across runs being compared for determinism.
+  telemetry::TraceCapture* trace = nullptr;
 };
 
 /// One tenant's ledger snapshot, taken at peak (all calls up).
@@ -91,6 +98,8 @@ class ClusterHarness {
   struct Tenant;
 
   void build_tenants();
+  /// Fold the finished run into cfg_.trace (no-op when tracing is off).
+  void absorb_trace();
   /// Advance the clock in fixed chunks until done() or the deadline.
   bool chunked_wait(const std::function<bool()>& done, TimeNs deadline);
 

@@ -58,7 +58,9 @@ Result<ReliableDatagram::PacketView> ReliableDatagram::parse_packet(
     return Status(Errc::kProtocolError, "short RD packet");
   WireReader r(wire);
   PacketView p;
-  p.type = r.u8be();
+  const u8 type_byte = r.u8be();
+  p.type = type_byte & static_cast<u8>(~kEcnEchoFlag);
+  p.ecn_echo = (type_byte & kEcnEchoFlag) != 0;
   p.seq = r.u64be();
   p.cum = r.u32be();
   const u32 crc = r.u32be();
@@ -93,6 +95,15 @@ ReliableDatagram::ReliableDatagram(host::HostCtx& ctx,
   stats_.crc_escapes.bind(reg.counter("rd.crc_escapes"));
   stats_.parse_rejects.bind(reg.counter("rd.parse_rejects"));
   stats_.wild_rejects.bind(reg.counter("rd.wild_rejects"));
+
+  if (config_.cc_mode != cc::CcMode::kOff) {
+    cc_ = std::make_unique<cc::RateController>(ctx_.sim, config_.cc_mode,
+                                               config_.cc);
+    // cc keys appear in the registry only for endpoints that opted in —
+    // default-config runs keep byte-identical metrics JSON.
+    stats_.ecn_rx.bind(reg.counter("rd.ecn_rx"));
+    stats_.cnps_tx.bind(reg.counter("rd.cnps_tx"));
+  }
 }
 
 ReliableDatagram::~ReliableDatagram() {
@@ -128,12 +139,41 @@ Status ReliableDatagram::send_to(Endpoint dst, const GatherList& payload) {
     tx.queued.push_back(QueuedDgram{seq, std::move(wire), span});
     return Status::Ok();
   }
-  tx.unacked.emplace(seq, Pending{std::move(wire), 0, 0, 0, span, 0});
+  tx.unacked.emplace(seq, Pending{.wire = std::move(wire), .span = span});
   transmit(dst, seq, tx);
   return Status::Ok();
 }
 
 void ReliableDatagram::transmit(Endpoint dst, u64 seq, PeerTx& tx) {
+  auto it = tx.unacked.find(seq);
+  if (it == tx.unacked.end()) return;
+
+  if (cc_) {
+    // Pacing: reserve wire time at the flow's current rate. A reservation
+    // in the past (or now) sends immediately; otherwise defer the real
+    // transmission, guarded by a generation so a retransmission decision
+    // made meanwhile (RTO, fast retransmit) invalidates the stale event.
+    const TimeNs at =
+        cc_->reserve_send(flow_key(dst), it->second.wire.size());
+    if (at > ctx_.sim.now()) {
+      const u64 gen = ++timer_counter_;
+      it->second.pace_gen = gen;
+      ctx_.sim.at(at, [this, dst, seq, gen] {
+        auto peer = tx_.find(dst);
+        if (peer == tx_.end()) return;
+        auto p = peer->second.unacked.find(seq);
+        if (p == peer->second.unacked.end() || p->second.pace_gen != gen)
+          return;
+        transmit_now(dst, seq, peer->second);
+      });
+      return;
+    }
+    it->second.pace_gen = ++timer_counter_;  // invalidate any earlier event
+  }
+  transmit_now(dst, seq, tx);
+}
+
+void ReliableDatagram::transmit_now(Endpoint dst, u64 seq, PeerTx& tx) {
   auto it = tx.unacked.find(seq);
   if (it == tx.unacked.end()) return;
   Pending& p = it->second;
@@ -265,20 +305,29 @@ void ReliableDatagram::ack_one(Endpoint src, PeerTx& tx, u64 seq,
   auto it = tx.unacked.find(seq);
   if (it == tx.unacked.end()) return;
   // Karn's rule: only never-retransmitted packets produce RTT samples.
-  if (rtt_eligible && it->second.retries == 0)
-    update_rtt(tx, ctx_.sim.now() - it->second.sent_at);
+  // The same clean samples feed the Timely controller (no-op otherwise):
+  // queue build-up at the congested trunk shows up as an RTT gradient.
+  if (rtt_eligible && it->second.retries == 0) {
+    const TimeNs sample = ctx_.sim.now() - it->second.sent_at;
+    update_rtt(tx, sample);
+    if (cc_) cc_->on_rtt_sample(flow_key(src), sample);
+  }
   // The retransmit episode (if any) ends when the ACK finally lands.
   if (it->second.rtx_span)
     ctx_.sim.telemetry().spans().end(it->second.rtx_span, /*completed=*/true);
   tx.unacked.erase(it);
-  (void)src;
 }
 
-void ReliableDatagram::on_ack(Endpoint src, u64 seq, u64 cum) {
+void ReliableDatagram::on_ack(Endpoint src, u64 seq, u64 cum,
+                              bool ecn_echo) {
   ++stats_.acks_rx;
   ctx_.cpu.charge(ctx_.costs.rd_ack_fixed,
                   {telemetry::CostLayer::kRd, telemetry::CostActivity::kAck,
                    0});
+  // CNP echo: the receiver saw CE-marked data from us — let the rate
+  // controller react before the window refills below (pump_queue paces new
+  // transmissions at the already-reduced rate).
+  if (ecn_echo && cc_) cc_->on_cnp(flow_key(src));
   auto peer = tx_.find(src);
   if (peer == tx_.end()) return;
   PeerTx& tx = peer->second;
@@ -327,9 +376,25 @@ void ReliableDatagram::send_ack(Endpoint dst, u64 seq) {
   // scope they were sent from — that would thread a forward span through a
   // reverse-direction frame.
   host::SpanScope scope(ctx_, 0);
+  // DCQCN notification point: piggyback the CNP echo flag on this ACK if a
+  // CE mark is pending and the coalescing interval has elapsed — at most
+  // one CNP per peer per cc.cnp_interval, however many marks arrived.
+  u8 type = kTypeAck;
+  if (cc_ && cc_->mode() == cc::CcMode::kDcqcn) {
+    PeerRx& rx = rx_[dst];
+    if (rx.ce_pending &&
+        (!rx.cnp_ever ||
+         ctx_.sim.now() - rx.last_cnp >= config_.cc.cnp_interval)) {
+      type |= kEcnEchoFlag;
+      rx.ce_pending = false;
+      rx.cnp_ever = true;
+      rx.last_cnp = ctx_.sim.now();
+      ++stats_.cnps_tx;
+    }
+  }
   Bytes wire;
   WireWriter w(wire);
-  w.u8be(kTypeAck);
+  w.u8be(type);
   w.u64be(seq);
   w.u32be(cum_to_wire(cum_for(dst)));
   w.u32be(0);
@@ -366,7 +431,8 @@ void ReliableDatagram::pump_queue(Endpoint dst, PeerTx& tx) {
   while (!tx.queued.empty() && tx.unacked.size() < config_.window) {
     QueuedDgram q = std::move(tx.queued.front());
     tx.queued.pop_front();
-    tx.unacked.emplace(q.seq, Pending{std::move(q.wire), 0, 0, 0, q.span, 0});
+    tx.unacked.emplace(q.seq,
+                       Pending{.wire = std::move(q.wire), .span = q.span});
     transmit(dst, q.seq, tx);
   }
 }
@@ -406,7 +472,7 @@ void ReliableDatagram::on_raw(Endpoint src, Bytes data, bool tainted) {
 
   switch (type) {
     case kTypeAck:
-      on_ack(src, seq, cum);
+      on_ack(src, seq, cum, parsed->ecn_echo);
       return;
     case kTypeGapSkip:
       ctx_.cpu.charge(ctx_.costs.rd_ack_fixed,
@@ -449,6 +515,15 @@ void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body,
 
   PeerRx& rx = rx_[src];
 
+  // Congestion-experienced mark from the carrying frame (ambient, set by
+  // the IP/UDP delivery scopes). In DCQCN mode it arms a CNP echo on the
+  // next ACK towards the sender; counted regardless of mode (the metric is
+  // registry-visible only when cc is on).
+  if (ctx_.rx_ecn) {
+    ++stats_.ecn_rx;
+    rx.ce_pending = true;
+  }
+
   // Horizon check: a sequence astronomically ahead of the receive frontier
   // cannot come from a well-behaved sender — the send window is far smaller
   // than the dedup window. With the RD CRC off a corrupted header yields
@@ -489,8 +564,8 @@ void ReliableDatagram::on_data(Endpoint src, u64 seq, ConstByteSpan body,
       return;
     }
     auto [it, inserted] = rx.ooo.emplace(
-        seq,
-        OooDgram{Bytes(body.begin(), body.end()), tainted, ctx_.active_span});
+        seq, OooDgram{Bytes(body.begin(), body.end()), tainted, ctx_.rx_ecn,
+                      ctx_.active_span});
     if (inserted) account_ooo(rx, static_cast<i64>(it->second.data.size()));
     arm_gap_timer(src);
     send_ack(src, seq);
@@ -509,14 +584,16 @@ void ReliableDatagram::deliver_in_order(Endpoint src, PeerRx& rx) {
     if (it == rx.ooo.end()) break;
     Bytes payload = std::move(it->second.data);
     const bool tainted = it->second.tainted;
+    const bool ecn = it->second.ecn;
     const u64 span = it->second.span;
     account_ooo(rx, -static_cast<i64>(payload.size()));
     rx.ooo.erase(it);
     ++rx.next_expected;
     if (handler_) {
-      // Re-establish the span the datagram arrived under: the reorder
+      // Re-establish the span/ECN the datagram arrived under: the reorder
       // buffer drain runs inside the unblocking datagram's scope.
       host::SpanScope scope(ctx_, span);
+      host::EcnScope ecn_scope(ctx_, ecn);
       handler_(src, std::move(payload), tainted);
     }
   }
@@ -549,11 +626,13 @@ void ReliableDatagram::skip_to(Endpoint src, PeerRx& rx, u64 base) {
       if (it != rx.ooo.end()) {
         Bytes payload = std::move(it->second.data);
         const bool tainted = it->second.tainted;
+        const bool ecn = it->second.ecn;
         const u64 span = it->second.span;
         account_ooo(rx, -static_cast<i64>(payload.size()));
         rx.ooo.erase(it);
         if (handler_) {
           host::SpanScope scope(ctx_, span);
+          host::EcnScope ecn_scope(ctx_, ecn);
           handler_(src, std::move(payload), tainted);
         }
       } else {

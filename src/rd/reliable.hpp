@@ -29,7 +29,9 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 
+#include "cc/cc.hpp"
 #include "hoststack/udp.hpp"
 #include "telemetry/registry.hpp"
 
@@ -55,6 +57,14 @@ struct RdConfig {
   // that was never delivered. Off => corruption passes through (measured as
   // rd.crc_escapes via the simulator's taint oracle).
   bool crc = true;
+  // Congestion control (src/cc/). kOff (default) is the pre-CC transport:
+  // no pacing, no CNP echo, no cc.* registry keys — byte-identical output.
+  // kDcqcn paces each peer with a DCQCN-style rate controller fed by CNP
+  // echoes (CE-marked data -> echo flag on the next ACK, coalesced per
+  // cc.cnp_interval). kTimely paces from clean ACK RTT samples instead and
+  // needs no fabric marking at all.
+  cc::CcMode cc_mode = cc::CcMode::kOff;
+  cc::CcParams cc;  // controller tuning, used when cc_mode != kOff
 };
 
 /// Per-endpoint RD counters. Each field also feeds the owning Simulation's
@@ -75,6 +85,10 @@ struct RdStats {
   telemetry::Metric crc_escapes;   // corrupted packets accepted (CRC off)
   telemetry::Metric parse_rejects;  // malformed packets (bad type / short)
   telemetry::Metric wild_rejects;   // seqs/skips beyond the plausible horizon
+  // Congestion-control plumbing; bound into the registry (rd.ecn_rx /
+  // rd.cnps_tx) only when cc_mode != kOff so default runs add no keys.
+  telemetry::Metric ecn_rx;   // data packets that arrived CE-marked
+  telemetry::Metric cnps_tx;  // ACKs sent with the CNP echo flag
 };
 
 /// Wraps a UdpSocket with reliability. The socket's receive handler is
@@ -115,16 +129,23 @@ class ReliableDatagram {
   TimeNs rto(Endpoint dst) const;
 
   const RdStats& stats() const { return stats_; }
+  /// The rate controller, or nullptr when cc_mode == kOff.
+  const cc::RateController* congestion() const { return cc_.get(); }
   // type(u8) + seq(u64) + cumulative ack(u32, truncated; see reliable.cpp)
-  // + crc32(u32) over the whole packet with the CRC field zeroed.
+  // + crc32(u32) over the whole packet with the CRC field zeroed. The top
+  // bit of the type byte is the CNP echo flag (set on ACKs that carry a
+  // congestion notification back to the sender); it is covered by the CRC
+  // and masked off before type dispatch.
   static constexpr std::size_t kHeaderBytes = 17;
+  static constexpr u8 kEcnEchoFlag = 0x80;
 
   /// Parsed view of one RD packet (fields + payload span into the wire
   /// buffer). Exposed for the wire fuzzer; on_raw goes through it too.
   struct PacketView {
-    u8 type = 0;
+    u8 type = 0;  // echo flag already masked off
     u64 seq = 0;
     u64 cum = 0;
+    bool ecn_echo = false;  // CNP echo flag (meaningful on ACKs)
     ConstByteSpan body;
   };
 
@@ -138,6 +159,7 @@ class ReliableDatagram {
     Bytes wire;     // full RD packet, ready for retransmission
     int retries = 0;
     u64 timer_gen = 0;
+    u64 pace_gen = 0;    // invalidates stale paced-transmit events
     TimeNs sent_at = 0;  // last (re)transmission time, for RTT sampling
     u64 span = 0;      // lifecycle span of the originating message
     u64 rtx_span = 0;  // open retransmit child span (0 when none)
@@ -162,6 +184,7 @@ class ReliableDatagram {
   struct OooDgram {
     Bytes data;
     bool tainted = false;
+    bool ecn = false;  // CE mark of the carrying packet (re-scoped on drain)
     u64 span = 0;  // lifecycle span from the carrying packet
   };
   struct PeerRx {
@@ -177,13 +200,25 @@ class ReliableDatagram {
     std::size_t ooo_bytes = 0;   // ledger-accounted reorder buffer bytes
     // Receiver-side gap fallback timer.
     bool gap_armed = false;
+    // CNP echo state (DCQCN mode): a CE-marked data packet sets ce_pending
+    // and the next ACK towards the peer carries the echo flag, coalesced to
+    // one CNP per cc.cnp_interval.
+    bool ce_pending = false;
+    bool cnp_ever = false;
+    TimeNs last_cnp = 0;
   };
 
   void on_raw(Endpoint src, Bytes data, bool tainted);
-  void on_ack(Endpoint src, u64 seq, u64 cum);
+  void on_ack(Endpoint src, u64 seq, u64 cum, bool ecn_echo);
   void on_data(Endpoint src, u64 seq, ConstByteSpan body, bool tainted);
   void on_gap_skip(Endpoint src, u64 base);
+  /// Admission: paces through the rate controller when cc is on (deferring
+  /// the actual send to transmit_now via a generation-guarded event),
+  /// transmits immediately otherwise.
   void transmit(Endpoint dst, u64 seq, PeerTx& tx);
+  /// The actual (re)transmission: cum/CRC patching, stats, socket send,
+  /// RTO arming — always at the packet's real wire-entry time.
+  void transmit_now(Endpoint dst, u64 seq, PeerTx& tx);
   void arm_timer(Endpoint dst, u64 seq);
   void on_timeout(Endpoint dst, u64 seq, u64 gen);
   void send_ack(Endpoint dst, u64 seq);
@@ -202,10 +237,13 @@ class ReliableDatagram {
   TimeNs peer_rto(const PeerTx& tx) const {
     return tx.rto > 0 ? tx.rto : config_.rto;
   }
+  /// RateController flow key for a peer (packed endpoint).
+  static u64 flow_key(Endpoint ep) { return (u64{ep.ip} << 16) | ep.port; }
 
   host::HostCtx& ctx_;
   host::UdpSocket& socket_;
   RdConfig config_;
+  std::unique_ptr<cc::RateController> cc_;  // null when cc_mode == kOff
   DatagramHandler handler_;
   FailureHandler on_failure_;
   GapHandler on_gap_;

@@ -9,14 +9,4 @@ Fabric::Fabric(Params params)
                              params.seed, /*leaves=*/1, /*trunk_cables=*/1,
                              Switch::kDefaultFdbCapacity}) {}
 
-// Implemented through the topology directly so the definitions don't trip
-// their own deprecation warnings.
-void Fabric::set_egress_faults(std::size_t host, Faults f) {
-  topo_.host_uplink(host).set_faults(std::move(f));
-}
-
-void Fabric::set_ingress_faults(std::size_t host, Faults f) {
-  topo_.host_downlink(host).set_faults(std::move(f));
-}
-
 }  // namespace dgiwarp::sim

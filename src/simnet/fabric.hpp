@@ -46,10 +46,12 @@ class Fabric {
   /// switch -> host direction (receiver-side faults).
   LinkRef downlink(std::size_t host) { return topo_.host_downlink(host); }
 
-  [[deprecated("use fabric.uplink(host).set_faults(...)")]]
-  void set_egress_faults(std::size_t host, Faults f);
-  [[deprecated("use fabric.downlink(host).set_faults(...)")]]
-  void set_ingress_faults(std::size_t host, Faults f);
+  // The PR-5 index-pair fault shims are gone. Attach faults through the
+  // LinkRef handles instead:
+  //   fabric.uplink(host).set_faults(...)    (was set_egress_faults)
+  //   fabric.downlink(host).set_faults(...)  (was set_ingress_faults)
+  void set_egress_faults(std::size_t, Faults) = delete;
+  void set_ingress_faults(std::size_t, Faults) = delete;
 
   Switch& fabric_switch() { return topo_.leaf(0); }
 

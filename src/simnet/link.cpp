@@ -18,6 +18,24 @@ Link::Link(Simulation& sim, Rng& rng, LinkParams params, std::string name)
   stats_.frames_corrupted.bind(reg.counter("simnet.link.frames_corrupted"));
 }
 
+void Link::bind_cc_counters() {
+  if (cc_counters_bound_) return;
+  cc_counters_bound_ = true;
+  auto& reg = sim_.telemetry();
+  stats_.frames_marked.bind(reg.counter("cc.marks"));
+  stats_.queue_drops.bind(reg.counter("simnet.link.queue_drops"));
+}
+
+void Link::set_ecn_threshold(std::size_t frames) {
+  ecn_threshold_ = frames;
+  if (frames > 0) bind_cc_counters();
+}
+
+void Link::set_queue_capacity(std::size_t frames) {
+  queue_capacity_ = frames;
+  if (frames > 0) bind_cc_counters();
+}
+
 TimeNs Link::serialization_delay(std::size_t wire_bytes) const {
   const double bits = static_cast<double>(wire_bytes) * 8.0;
   return static_cast<TimeNs>(bits / params_.bandwidth_bps * 1e9);
@@ -31,17 +49,48 @@ std::size_t Link::queue_depth() const {
 
 void Link::transmit(Frame f) {
   ++stats_.frames_offered;
+  auto& telem = sim_.telemetry();
+
+  // Per-port output-queue state first: the admission decisions below look
+  // at the depth the frame finds on arrival. Pruned lazily against now()
+  // at observation points, so no extra simulation events maintain it.
+  while (!departures_.empty() && departures_.front() <= sim_.now())
+    departures_.pop_front();
+
+  // Bounded queue: a frame arriving at a full output queue is tail-dropped
+  // before it touches the wire — no serialization time is consumed and
+  // busy_until_ does not move, exactly like a switch port out of buffers.
+  if (queue_capacity_ > 0 && departures_.size() >= queue_capacity_) {
+    ++stats_.frames_dropped;
+    ++stats_.queue_drops;
+    telem.trace().record(telemetry::TraceKind::kLinkDrop, f.id,
+                         f.wire_bytes());
+    if (f.span)
+      telem.spans().stage_at(f.span, telemetry::Stage::kDropped, sim_.now(),
+                             f.id);
+    DGI_TRACE("link", "%s queue overflow dropped frame id=%llu (%zu queued)",
+              name_.c_str(), static_cast<unsigned long long>(f.id),
+              departures_.size());
+    return;
+  }
+
+  // ECN: the congestion-experienced bit is set while the standing queue is
+  // at or above the threshold — the receiver-side CC loop (src/cc/) turns
+  // this into CNPs/rate decisions. Marking is done at enqueue time (the
+  // depth this frame observed), the deterministic analogue of a switch
+  // marking on queue occupancy.
+  if (ecn_threshold_ > 0 && departures_.size() >= ecn_threshold_) {
+    f.ecn = true;
+    ++stats_.frames_marked;
+    telem.trace().record(telemetry::TraceKind::kEcnMark, f.id,
+                         departures_.size());
+  }
 
   // Output queueing: serialization starts when the link frees up.
   const TimeNs start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
   const TimeNs tx_done = start + serialization_delay(f.wire_bytes());
   busy_until_ = tx_done;
 
-  // Per-port output-queue depth: this frame occupies the output queue until
-  // its serialization finishes. Pruned lazily against now() at observation
-  // points, so no extra simulation events are scheduled to maintain it.
-  while (!departures_.empty() && departures_.front() <= sim_.now())
-    departures_.pop_front();
   departures_.push_back(tx_done);
   if (departures_.size() > max_depth_) max_depth_ = departures_.size();
   sim_.telemetry().gauge("simnet.link.queue_depth")

@@ -28,6 +28,12 @@ struct LinkStats {
   telemetry::Metric frames_queued;  // frames that waited for the wire
   telemetry::Metric frames_duplicated;  // extra copies injected by faults
   telemetry::Metric frames_corrupted;   // payloads damaged in flight
+  // Congestion instrumentation. These two only mirror into the registry
+  // (cc.marks / simnet.link.queue_drops) once a threshold or capacity is
+  // configured on some link — default fabrics keep their metrics JSON free
+  // of cc keys (bound lazily, see Link::bind_cc_counters).
+  telemetry::Metric frames_marked;  // ECN CE bits set at this queue
+  telemetry::Metric queue_drops;    // tail drops at the bounded queue
 };
 
 class Link {
@@ -38,6 +44,18 @@ class Link {
 
   void set_receiver(Receiver rx) { rx_ = std::move(rx); }
   void set_faults(Faults f) { faults_ = std::move(f); }
+
+  /// ECN marking: frames enqueued while queue_depth() >= `frames` get their
+  /// congestion-experienced bit set (0 disables, the default). Mirrors a
+  /// switch port's WRED/ECN threshold in its crudest deterministic form.
+  void set_ecn_threshold(std::size_t frames);
+  /// Bounded output queue: frames offered while queue_depth() >= `frames`
+  /// are tail-dropped without consuming wire time (0 = unbounded, the
+  /// default — the pre-CC fabric behaviour).
+  void set_queue_capacity(std::size_t frames);
+
+  std::size_t ecn_threshold() const { return ecn_threshold_; }
+  std::size_t queue_capacity() const { return queue_capacity_; }
 
   /// Queue a frame for transmission. Serialization begins when the link is
   /// free (output queueing), then the frame propagates, possibly dropped,
@@ -65,6 +83,12 @@ class Link {
   /// was installed (Faults::isolated), else from the fabric-wide stream.
   Rng& fault_rng() { return faults_.rng ? *faults_.rng : rng_; }
 
+  /// Bind the congestion counters into the registry the first time either
+  /// CC feature is configured. Deliberately not done in the constructor:
+  /// registry keys exist iff some link opted into marking/bounding, keeping
+  /// default-config metrics exports byte-identical to the pre-CC tree.
+  void bind_cc_counters();
+
   Simulation& sim_;
   Rng& rng_;
   LinkParams params_;
@@ -75,6 +99,9 @@ class Link {
   LinkStats stats_;
   mutable std::deque<TimeNs> departures_;  // tx_done of queued frames
   std::size_t max_depth_ = 0;
+  std::size_t ecn_threshold_ = 0;   // 0 = no marking
+  std::size_t queue_capacity_ = 0;  // 0 = unbounded
+  bool cc_counters_bound_ = false;
 };
 
 /// First-class handle to one direction of one cable. This is the public
@@ -92,6 +119,16 @@ class LinkRef {
   /// Install a fault configuration on this link direction (replacing any
   /// previous one). See Faults::isolated for per-link draw streams.
   void set_faults(Faults f) const { link_->set_faults(std::move(f)); }
+
+  /// Congestion knobs (see Link::set_ecn_threshold/set_queue_capacity).
+  void set_ecn_threshold(std::size_t frames) const {
+    link_->set_ecn_threshold(frames);
+  }
+  void set_queue_capacity(std::size_t frames) const {
+    link_->set_queue_capacity(frames);
+  }
+  std::size_t ecn_threshold() const { return link_->ecn_threshold(); }
+  std::size_t queue_capacity() const { return link_->queue_capacity(); }
 
   const LinkStats& stats() const { return link_->stats(); }
   const std::string& name() const { return link_->name(); }

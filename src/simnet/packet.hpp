@@ -33,6 +33,13 @@ struct Frame {
   // real NICs obviously have no such oracle — it exists purely for
   // measurement and is never consulted by protocol logic.
   bool corrupted = false;
+  // Congestion-experienced (ECN CE) bit, set by a Link whose output queue
+  // was at or above its ecn_threshold when this frame was enqueued. Unlike
+  // `corrupted` this IS protocol-visible: it rides the IP/UDP receive path
+  // (HostCtx::rx_ecn) into the RD/UD receivers, which echo it back to the
+  // sender's RateController (src/cc/). Always false when no link has a
+  // marking threshold configured — the default fabric never sets it.
+  bool ecn = false;
 
   std::size_t wire_bytes() const { return payload.size() + kEthernetOverhead; }
 };

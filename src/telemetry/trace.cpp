@@ -20,6 +20,9 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::kCqCompletion: return "cq_completion";
     case TraceKind::kCqOverrun: return "cq_overrun";
     case TraceKind::kIsockDropNoSlot: return "isock_drop_no_slot";
+    case TraceKind::kEcnMark: return "ecn_mark";
+    case TraceKind::kCcCnp: return "cc_cnp";
+    case TraceKind::kCcRateChange: return "cc_rate_change";
   }
   return "?";
 }

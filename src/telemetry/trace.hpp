@@ -37,6 +37,9 @@ enum class TraceKind : u8 {
   kCqCompletion,          // a = wr_id, b = byte_len
   kCqOverrun,             // a = wr_id, b = capacity
   kIsockDropNoSlot,       // a = source port, b = datagram bytes
+  kEcnMark,               // a = frame id, b = queue depth at marking
+  kCcCnp,                 // a = flow key, b = rate before reaction (bps)
+  kCcRateChange,          // a = flow key, b = new rate (bps)
 };
 
 /// Keep in sync with TraceKind: one past the last enumerator. This is a
@@ -45,7 +48,7 @@ enum class TraceKind : u8 {
 /// -Wswitch-clean; the exhaustiveness test in telemetry_test.cpp asserts
 /// that casting kTraceKindCount itself yields the "?" fallback, which
 /// forces this constant to track the enum.
-inline constexpr u8 kTraceKindCount = 16;
+inline constexpr u8 kTraceKindCount = 19;
 
 const char* trace_kind_name(TraceKind k);
 

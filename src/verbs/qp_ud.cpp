@@ -259,6 +259,18 @@ void UdQueuePair::on_datagram(host::Endpoint src, Bytes data, bool tainted) {
     return;  // reported, QP stays up (paper §IV.B item 2)
   }
   ++stats_.segments_rx;
+  // Congestion-experienced mark from the carrying frame (ambient, see
+  // HostCtx::rx_ecn). Lazy binding keeps verbs.ud.ecn_rx out of the
+  // registry until a mark actually occurs (Metric::bind is additive, and
+  // binding happens before the first increment).
+  if (dev_.host().ctx().rx_ecn) {
+    if (!ecn_counter_bound_) {
+      ecn_counter_bound_ = true;
+      stats_.ecn_rx.bind(
+          dev_.host().sim().telemetry().counter("verbs.ud.ecn_rx"));
+    }
+    ++stats_.ecn_rx;
+  }
   // Accepted despite riding a corrupted frame, with no CRC to vouch for the
   // payload: the silent escape the corruption campaign measures. With the
   // CRC on, a passing check proves the segment bytes are intact (the damage

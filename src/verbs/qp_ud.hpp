@@ -37,6 +37,11 @@ struct UdQpStats {
   telemetry::Metric terminates_rx;
   telemetry::Metric rd_failures;        // RD layer gave up on a datagram
   telemetry::Metric rd_rx_gaps;         // RD receiver skipped lost datagrams
+  // Segments that arrived on a CE-marked (ECN) frame. Plain UD has no ACK
+  // channel to echo them, so this is the victim-side visibility: bound into
+  // the registry (verbs.ud.ecn_rx) lazily at the first mark, so fabrics
+  // without marking thresholds add no key.
+  telemetry::Metric ecn_rx;
 };
 
 class UdQueuePair final : public QueuePair,
@@ -90,6 +95,7 @@ class UdQueuePair final : public QueuePair,
   };
   std::map<u32, PendingRead> pending_reads_;
   bool gc_armed_ = false;
+  bool ecn_counter_bound_ = false;
   UdQpStats stats_;
 };
 
