@@ -10,7 +10,9 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "perf/harness.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/series.hpp"
 #include "telemetry/trace_export.hpp"
 
 namespace dgiwarp::bench {
@@ -21,6 +23,96 @@ inline std::string arg_path(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return {};
+}
+
+/// True if the bare flag is present anywhere in argv.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+/// Parse `<flag> <int>` from argv (`dflt` if absent or unparsable).
+inline int arg_int(int argc, char** argv, const char* flag, int dflt) {
+  const std::string v = arg_path(argc, argv, flag);
+  if (v.empty()) return dflt;
+  const long n = std::strtol(v.c_str(), nullptr, 10);
+  return n > 0 ? static_cast<int>(n) : dflt;
+}
+
+/// The flag surface shared by the figure benches, parsed once. Individual
+/// benches ignore fields they have no use for; what matters is that the
+/// *parsing* lives here instead of being copy-pasted per bench.
+struct BenchArgs {
+  std::string metrics_json;     // --metrics-json <path>
+  std::string trace_json;       // --trace-json <path>
+  std::string profile_json;     // --profile-json <path>
+  std::string timeseries_json;  // --timeseries-json <path>
+  std::string flight_json;      // --flight-json <path>
+  std::string out;              // --out <path> (bench-specific JSON)
+  bool smoke = false;           // --smoke: reduced workload
+  bool ablate = false;          // --ablate: parameter sweeps
+  bool strict_health = false;   // --strict-health: watchdog trips fail run
+  bool inject_stall = false;    // --inject-stall: black-hole one sender
+  int repeat = 1;               // --repeat N: wall-clock de-noising
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    a.metrics_json = arg_path(argc, argv, "--metrics-json");
+    a.trace_json = arg_path(argc, argv, "--trace-json");
+    a.profile_json = arg_path(argc, argv, "--profile-json");
+    a.timeseries_json = arg_path(argc, argv, "--timeseries-json");
+    a.flight_json = arg_path(argc, argv, "--flight-json");
+    a.out = arg_path(argc, argv, "--out");
+    a.smoke = has_flag(argc, argv, "--smoke");
+    a.ablate = has_flag(argc, argv, "--ablate");
+    a.strict_health = has_flag(argc, argv, "--strict-health");
+    a.inject_stall = has_flag(argc, argv, "--inject-stall");
+    a.repeat = arg_int(argc, argv, "--repeat", 1);
+    return a;
+  }
+};
+
+/// "dir/name.json" + "dcqcn" -> "dir/name.dcqcn.json" (suffix appended
+/// when there is no extension) — per-point dump paths for --ablate sweeps.
+inline std::string suffixed_path(const std::string& path,
+                                 const std::string& suffix) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + "." + suffix;
+  return path.substr(0, dot) + "." + suffix + path.substr(dot);
+}
+
+/// Write `body` to `path`; prints the outcome like dump_metrics.
+inline bool write_text_file(const std::string& path, const std::string& body,
+                            const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "failed to write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (n != body.size()) {
+    std::fprintf(stderr, "short write of %s to %s\n", what, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Validate + write a timeseries document; exits 1 on schema violation —
+/// an exported-but-broken document is a bug, exactly like dump_capture's
+/// trace handling, and verify-observability leans on this exit code.
+inline void dump_timeseries(const std::string& doc, const std::string& path) {
+  if (path.empty()) return;
+  if (Status v = telemetry::validate_timeseries_json(doc); !v.ok()) {
+    std::fprintf(stderr, "timeseries export failed schema validation: %s\n",
+                 v.to_string().c_str());
+    std::exit(1);
+  }
+  if (write_text_file(path, doc, "timeseries"))
+    std::printf("\ntimeseries written to %s (schema-valid)\n", path.c_str());
 }
 
 /// Parse `--metrics-json <path>` from argv. Returns the path ("" if the

@@ -12,6 +12,12 @@
 // compared byte-for-byte: the process exits non-zero on any divergence,
 // making this bench the determinism gate for the Topology/ClusterHarness
 // layers (ctest tier-2; also wired into verify-fabric).
+//
+// --strict-health arms the cluster watchdog (trunk stuck-queue rules on all
+// 32 spine LAG members plus a per-tenant server mem-leak rule) over both
+// runs and fails the bench on any trip, dumping a flight recorder;
+// --timeseries-json samples trunk queue depths, fleet counters and the
+// first tenants' memory into a schema document.
 #include "bench_util.hpp"
 #include "perf/cluster.hpp"
 
@@ -37,15 +43,21 @@ perf::ClusterConfig scale_config() {
 struct RunOutcome {
   perf::ClusterReport report;
   std::string metrics;
+  std::string timeseries;  // sampler fragment (empty unless sampling)
 };
 
-RunOutcome run_once(telemetry::TraceCapture* trace) {
+RunOutcome run_once(telemetry::TraceCapture* trace,
+                    const perf::ClusterConfig::Health& health) {
   perf::ClusterConfig cfg = scale_config();
   cfg.trace = trace;
+  cfg.health = health;
   perf::ClusterHarness cluster(cfg);
   RunOutcome out;
   out.report = cluster.run_sip();
   out.metrics = cluster.metrics_json();
+  if (health.sample)
+    out.timeseries =
+        cluster.topology().sim().telemetry().sampler().run_json();
   return out;
 }
 
@@ -56,14 +68,20 @@ int main(int argc, char** argv) {
                 "extends the paper's 10000-call single-server memory "
                 "experiment (Fig. 11) to a 1000-node leaf-spine fabric");
 
-  // --trace-json: capture spans/trace/profiler. Both runs are captured with
-  // identical config — tracing changes which histograms accumulate, so the
-  // determinism comparison below is only valid if the runs match.
-  const std::string trace_path = bench::trace_json_path(argc, argv);
-  telemetry::TraceCapture capture;
-  telemetry::TraceCapture* trace = trace_path.empty() ? nullptr : &capture;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
 
-  const RunOutcome a = run_once(trace);
+  // --trace-json: capture spans/trace/profiler. Both runs are captured with
+  // identical config — tracing (like health sampling/watching) changes
+  // which registry keys accumulate, so the determinism comparison below is
+  // only valid because both runs share one config.
+  telemetry::TraceCapture capture;
+  telemetry::TraceCapture* trace =
+      args.trace_json.empty() ? nullptr : &capture;
+  perf::ClusterConfig::Health health;
+  health.watch = args.strict_health;
+  health.sample = !args.timeseries_json.empty();
+
+  const RunOutcome a = run_once(trace, health);
   const auto& rep = a.report;
 
   std::printf("topology: %zu hosts, 8 leaves, 2-cable spine LAG\n",
@@ -109,11 +127,13 @@ int main(int argc, char** argv) {
               static_cast<double>(rep.server_mem_total) / (1024.0 * 1024.0));
 
   // Determinism gate: an identical second run must produce an identical
-  // metrics registry (every counter, gauge and histogram bucket).
-  const RunOutcome b = run_once(trace);
+  // metrics registry (every counter, gauge and histogram bucket) and, when
+  // sampling, an identical time-series fragment.
+  const RunOutcome b = run_once(trace, health);
   const bool identical = a.metrics == b.metrics &&
                          a.report.events == b.report.events &&
-                         a.report.established == b.report.established;
+                         a.report.established == b.report.established &&
+                         a.timeseries == b.timeseries;
   std::printf("determinism: second run %s (events %llu vs %llu, metrics "
               "json %zu vs %zu bytes)\n",
               identical ? "IDENTICAL" : "DIVERGED",
@@ -121,25 +141,50 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(b.report.events),
               a.metrics.size(), b.metrics.size());
 
-  if (const std::string path = bench::metrics_json_path(argc, argv);
-      !path.empty()) {
-    if (FILE* f = std::fopen(path.c_str(), "w")) {
-      std::fwrite(a.metrics.data(), 1, a.metrics.size(), f);
-      std::fclose(f);
-      std::printf("\nmetrics written to %s\n", path.c_str());
-    }
-  }
+  if (!args.metrics_json.empty() &&
+      bench::write_text_file(args.metrics_json, a.metrics, "metrics"))
+    std::printf("\nmetrics written to %s\n", args.metrics_json.c_str());
 
-  if (trace) bench::dump_capture(capture, trace_path, "");
+  if (health.sample)
+    bench::dump_timeseries(
+        telemetry::timeseries_document({{"scale", a.timeseries}}),
+        args.timeseries_json);
 
+  if (trace) bench::dump_capture(capture, args.trace_json, "");
+
+  int rc = 0;
   if (!identical) {
     std::fprintf(stderr, "FAIL: seeded scale run is not deterministic\n");
-    return 1;
+    rc = 1;
   }
   if (rep.established < rep.calls_requested) {
     std::fprintf(stderr, "FAIL: only %zu/%zu calls established\n",
                  rep.established, rep.calls_requested);
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (args.strict_health) {
+    const std::size_t trips =
+        a.report.watchdog_trips + b.report.watchdog_trips;
+    if (trips > 0) {
+      std::fprintf(stderr, "FAIL: --strict-health saw %zu watchdog trip(s) "
+                           "across %llu checks\n",
+                   trips,
+                   static_cast<unsigned long long>(a.report.watchdog_checks +
+                                                   b.report.watchdog_checks));
+      rc = 1;
+    } else {
+      std::printf("health: watchdog clean — %llu checks, 0 trips "
+                  "(both runs)\n",
+                  static_cast<unsigned long long>(a.report.watchdog_checks +
+                                                  b.report.watchdog_checks));
+    }
+    // Trip or gate failure: leave the post-mortem on disk.
+    if (rc != 0 && !a.report.flight.empty()) {
+      const std::string path = args.flight_json.empty() ? "fig12_flight.json"
+                                                        : args.flight_json;
+      if (bench::write_text_file(path, a.report.flight, "flight recorder"))
+        std::printf("flight recorder written to %s\n", path.c_str());
+    }
+  }
+  return rc;
 }

@@ -16,7 +16,8 @@
 // Self-gates (process exits non-zero on violation):
 //   * every message delivers in every mode (reliability is not optional);
 //   * each mode is deterministic: a second identical run must produce a
-//     byte-identical metrics registry;
+//     byte-identical metrics registry (and, when sampling, a byte-identical
+//     time-series fragment);
 //   * cc_mode=off drops frames at the congested trunk (the bench would be
 //     vacuous otherwise);
 //   * dcqcn and timely each cut trunk drops >= 5x at the same offered load;
@@ -25,8 +26,16 @@
 // --smoke runs each mode once, skipping the determinism re-runs and
 // ablations (ctest tier-1); --ablate appends the ECN-threshold and
 // Timely-beta parameter sweeps that EXPERIMENTS.md quotes;
-// --metrics-json <path> dumps the dcqcn registry.
+// --metrics-json <path> dumps the dcqcn registry (and per-point ablation
+// registries next to it); --timeseries-json <path> samples trunk queue
+// depth, per-sender cc rates, fleet counters and simulator self-metrics at
+// 250 us cadence and exports the off/dcqcn/timely trajectories as one
+// schema document; --strict-health arms the invariant watchdog over every
+// run and turns any trip into a nonzero exit plus a flight-recorder dump;
+// --inject-stall black-holes sender 0's uplink mid-run to demonstrate that
+// the stalled-flow watchdog actually fires.
 #include "bench_util.hpp"
+#include "common/memcount.hpp"
 #include "hoststack/host.hpp"
 #include "rd/reliable.hpp"
 #include "simnet/topology.hpp"
@@ -56,6 +65,13 @@ struct Setup {
   cc::CcParams cc;                  // per-mode tuning (ablations tweak it)
 };
 
+/// Observability knobs threaded into each run (from BenchArgs).
+struct Obs {
+  bool sample = false;        // --timeseries-json: arm the Sampler
+  bool watch = false;         // --strict-health / --inject-stall: Watchdog
+  bool inject_stall = false;  // black-hole tx0's uplink at t=5ms
+};
+
 struct IncastResult {
   u64 drops = 0;       // tail drops at the congested trunk queue
   u64 marks = 0;       // CE marks at the congested trunk queue
@@ -66,6 +82,10 @@ struct IncastResult {
   u64 events = 0;
   bool all_delivered = false;
   std::string metrics;
+  std::string timeseries;  // Sampler run fragment (empty unless sampling)
+  std::string flight;      // flight-recorder JSON (empty unless watching)
+  u64 checks = 0;          // watchdog rule evaluations
+  std::vector<telemetry::WatchdogTrip> trips;
 };
 
 double jain_index(const std::map<u32, std::size_t>& per_sender) {
@@ -79,12 +99,25 @@ double jain_index(const std::map<u32, std::size_t>& per_sender) {
   return sum_sq > 0.0 ? (sum * sum) / (n * sum_sq) : 0.0;
 }
 
-IncastResult run_incast(cc::CcMode mode, const Setup& su) {
+IncastResult run_incast(cc::CcMode mode, const Setup& su, const Obs& obs) {
   sim::Topology::Params tp;
   tp.leaves = 2;
   tp.trunk_cables = 1;
   tp.trunk_link.bandwidth_bps = su.trunk_bps;
   sim::Topology topo(tp);
+
+  auto& reg = topo.sim().telemetry();
+  if (obs.sample) {
+    telemetry::SamplerConfig sc;
+    sc.interval = 250 * kMicrosecond;  // 8 points per 2 ms burst round
+    reg.sampler().enable(sc);
+  }
+  if (obs.watch) {
+    reg.watchdog().enable();  // default cadence/thresholds (health.hpp)
+    // A flight-recorder dump without trace events is a black box.
+    if (!reg.trace().enabled()) reg.trace().enable();
+  }
+  topo.attach_health();  // trunk queue-depth probes + stuck-queue watches
 
   // Round-robin placement (index % leaves): even indices land on leaf0,
   // odd on leaf1. Senders take the even slots, the receiver takes index 1,
@@ -118,6 +151,78 @@ IncastResult run_incast(cc::CcMode mode, const Setup& su) {
     tx_rd.push_back(std::make_unique<rd::ReliableDatagram>(h->ctx(), *s, cfg));
   }
 
+  const rd::Endpoint dst{receiver->addr(), kPort};
+  const u64 flow = rd::ReliableDatagram::flow_key(dst);
+
+  if (obs.sample) {
+    auto& s = reg.sampler();
+    // Fleet counters with derived rates: loss, marking, recovery, goodput.
+    s.add_counter("simnet.link.queue_drops");
+    s.add_counter("cc.marks");
+    s.add_counter("rd.retries");
+    s.add_counter("rd.data_rx");
+    // Simulator self-metrics: event rate and allocation pressure on the
+    // frame/buffer paths, both per virtual second.
+    sim::Simulation* sim = &topo.sim();
+    s.add_probe("sim.events",
+                [sim] { return static_cast<double>(sim->events_executed()); },
+                /*rate=*/true);
+    const mem::AllocTally base = mem::snapshot();
+    s.add_probe("sim.alloc.count",
+                [base] { return static_cast<double>(mem::delta(base).count); },
+                /*rate=*/true);
+    s.add_probe("sim.alloc.bytes",
+                [base] { return static_cast<double>(mem::delta(base).bytes); },
+                /*rate=*/true);
+    // Per-sender paced rate: the convergence trajectory EXPERIMENTS.md
+    // plots. Only meaningful when a controller exists.
+    if (mode != cc::CcMode::kOff)
+      for (std::size_t i = 0; i < tx_rd.size(); ++i)
+        s.add_probe("cc.rate.tx" + std::to_string(i),
+                    [c = tx_rd[i]->congestion(), flow] {
+                      return c->rate_bps(flow);
+                    });
+  }
+
+  if (obs.watch) {
+    auto& wd = reg.watchdog();
+    for (std::size_t i = 0; i < tx_rd.size(); ++i) {
+      rd::ReliableDatagram* p = tx_rd[i].get();
+      const std::string name = "tx" + std::to_string(i);
+      wd.watch_flow(
+          name, [p] { return static_cast<double>(p->unacked()); },
+          [p] { return static_cast<double>(p->stats().acks_rx.value()); });
+      wd.watch_retx_storm(
+          name,
+          [p] { return static_cast<double>(p->stats().retransmits.value()); },
+          [p] { return static_cast<double>(p->stats().acks_rx.value()); });
+      // Timely legitimately rides the 50 Mbps floor in this round-bursty
+      // workload while still delivering (the clamp is doing its job), so
+      // "at the floor" is not a pathology here. Watching *below* half the
+      // floor catches what actually is one: a controller whose clamp broke
+      // and paced a flow toward zero.
+      if (mode != cc::CcMode::kOff)
+        wd.watch_rate_floor(name,
+                            [c = p->congestion(), flow] {
+                              return c->rate_bps(flow);
+                            },
+                            su.cc.min_rate_bps * 0.5);
+    }
+    host::Host* rx = receiver;
+    wd.watch_ledger("rx",
+                    [rx] { return static_cast<double>(rx->ledger().total()); });
+  }
+
+  if (obs.inject_stall) {
+    // Fault demonstration for --strict-health: black-hole sender 0's uplink
+    // mid-run. tx0 keeps RTO-retrying into the void; the stalled-flow rule
+    // must trip (and the run cannot deliver everything).
+    topo.sim().at(5 * kMillisecond, [&topo] {
+      topo.host_uplink(0).set_faults(
+          sim::Faults::bernoulli(1.0).isolated(0x57A11));
+    });
+  }
+
   const std::size_t offered =
       su.senders * su.rounds * su.burst * su.msg_bytes;
   std::size_t delivered = 0;
@@ -140,7 +245,6 @@ IncastResult run_incast(cc::CcMode mode, const Setup& su) {
   });
 
   const Bytes payload = make_pattern(su.msg_bytes, 0x13);
-  const rd::Endpoint dst{receiver->addr(), kPort};
   for (std::size_t round = 0; round < su.rounds; ++round) {
     topo.sim().at(static_cast<TimeNs>(round) * su.round_interval,
                   [&tx_rd, &payload, &su, dst] {
@@ -159,13 +263,15 @@ IncastResult run_incast(cc::CcMode mode, const Setup& su) {
   for (auto& rd_tx : tx_rd) r.retransmits += rd_tx->stats().retransmits.value();
   r.events = topo.sim().events_executed();
   r.metrics = topo.sim().telemetry().to_json();
+  if (obs.sample) r.timeseries = reg.sampler().run_json();
+  if (obs.watch) {
+    r.checks = reg.watchdog().checks();
+    r.trips = reg.watchdog().trips();
+    r.flight = telemetry::flight_recorder_json(
+        reg,
+        reg.watchdog().tripped() ? "watchdog trip" : "fig13 health snapshot");
+  }
   return r;
-}
-
-bool has_flag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == flag) return true;
-  return false;
 }
 
 void print_row(TablePrinter& t, const char* label, const IncastResult& r) {
@@ -177,6 +283,28 @@ void print_row(TablePrinter& t, const char* label, const IncastResult& r) {
                  : "n/a"});
 }
 
+void print_trips(const IncastResult& r, const char* tag) {
+  for (const auto& trip : r.trips)
+    std::fprintf(stderr,
+                 "watchdog trip [%s] @%.3f ms: %s on %s (value %.0f)\n", tag,
+                 static_cast<double>(trip.t) / 1e6,
+                 telemetry::watchdog_rule_name(trip.rule), trip.target.c_str(),
+                 trip.value);
+}
+
+/// Validate + write a flight-recorder document (trip or gate failure).
+bool dump_flight(const std::string& flight, const std::string& path) {
+  if (flight.empty() || path.empty()) return false;
+  if (Status v = telemetry::validate_flight_recorder_json(flight); !v.ok()) {
+    std::fprintf(stderr, "flight recorder failed schema validation: %s\n",
+                 v.to_string().c_str());
+    std::exit(1);
+  }
+  if (!bench::write_text_file(path, flight, "flight recorder")) return false;
+  std::printf("flight recorder written to %s (schema-valid)\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,7 +312,7 @@ int main(int argc, char** argv) {
                 "beyond the paper: congestive (not random) loss, tamed by "
                 "the ECN + DCQCN/Timely subsystem");
 
-  const bool smoke = has_flag(argc, argv, "--smoke");
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   Setup su;
   // The workload is round-bursty (2 ms between synchronized bursts), so
   // DCQCN's datacenter-default clocks are rescaled to the round cadence:
@@ -193,12 +321,46 @@ int main(int argc, char** argv) {
   // enough to carry congestion memory across one round.
   su.cc.dcqcn_rate_timer = 5 * kMillisecond;
   su.cc.dcqcn_alpha_timer = 500 * kMicrosecond;
+
+  Obs obs;
+  obs.sample = !args.timeseries_json.empty();
+  obs.watch = args.strict_health || args.inject_stall;
+
+  const std::string flight_path =
+      args.flight_json.empty() ? "fig13_flight.json" : args.flight_json;
+
+  if (args.inject_stall) {
+    // Fault-demonstration mode (the --strict-health true-positive): one
+    // dcqcn run with tx0's uplink black-holed at t=5ms. The watchdog must
+    // trip, the flight recorder must validate, and the exit is nonzero.
+    std::printf("fault injection: tx0's uplink black-holed at t=5 ms — "
+                "expecting a stalled-flow watchdog trip\n\n");
+    obs.inject_stall = true;
+    const IncastResult r = run_incast(cc::CcMode::kDcqcn, su, obs);
+    print_trips(r, "dcqcn+stall");
+    dump_flight(r.flight, flight_path);
+    if (r.trips.empty()) {
+      std::fprintf(stderr,
+                   "FAIL: injected stall did not trip the watchdog "
+                   "(%llu checks ran)\n",
+                   static_cast<unsigned long long>(r.checks));
+      return 1;
+    }
+    if (r.all_delivered) {
+      std::fprintf(stderr,
+                   "FAIL: black-holed sender still delivered everything\n");
+      return 1;
+    }
+    std::printf("\ninjected stall tripped %zu watchdog target(s) after %llu "
+                "checks — exiting nonzero as --strict-health demands\n",
+                r.trips.size(), static_cast<unsigned long long>(r.checks));
+    return 3;
+  }
+
   // Smoke keeps the full traffic shape — the drop/fairness gates measure a
   // converged controller, and convergence needs the full 30 rounds — but
   // runs each mode single-pass (no determinism re-runs, no ablations),
   // about a third of the full bench's work.
-  (void)smoke;
-
   struct ModeRun {
     cc::CcMode mode;
     IncastResult a;
@@ -207,11 +369,13 @@ int main(int argc, char** argv) {
   bool deterministic = true;
   for (cc::CcMode mode :
        {cc::CcMode::kOff, cc::CcMode::kDcqcn, cc::CcMode::kTimely}) {
-    ModeRun mr{mode, run_incast(mode, su)};
-    if (!smoke) {
-      // Determinism gate: byte-identical registry on an identical re-run.
-      const IncastResult b = run_incast(mode, su);
-      if (b.metrics != mr.a.metrics || b.events != mr.a.events) {
+    ModeRun mr{mode, run_incast(mode, su, obs)};
+    if (!args.smoke) {
+      // Determinism gate: byte-identical registry — and, when sampling,
+      // byte-identical time-series fragment — on an identical re-run.
+      const IncastResult b = run_incast(mode, su, obs);
+      if (b.metrics != mr.a.metrics || b.events != mr.a.events ||
+          b.timeseries != mr.a.timeseries) {
         std::fprintf(stderr, "FAIL: cc_mode=%s run is not deterministic\n",
                      cc::cc_mode_name(mode));
         deterministic = false;
@@ -233,24 +397,52 @@ int main(int argc, char** argv) {
   const IncastResult& dcqcn = runs[1].a;
   const IncastResult& timely = runs[2].a;
 
-  if (const std::string path = bench::metrics_json_path(argc, argv);
-      !path.empty()) {
-    if (FILE* f = std::fopen(path.c_str(), "w")) {
-      std::fwrite(dcqcn.metrics.data(), 1, dcqcn.metrics.size(), f);
-      std::fclose(f);
-      std::printf("\ndcqcn metrics written to %s\n", path.c_str());
-    }
-  }
+  if (!args.metrics_json.empty() &&
+      bench::write_text_file(args.metrics_json, dcqcn.metrics,
+                             "dcqcn metrics"))
+    std::printf("\ndcqcn metrics written to %s\n", args.metrics_json.c_str());
 
-  if (has_flag(argc, argv, "--ablate")) {
+  if (obs.sample)
+    bench::dump_timeseries(
+        telemetry::timeseries_document({{"off", off.timeseries},
+                                        {"dcqcn", dcqcn.timeseries},
+                                        {"timely", timely.timeseries}}),
+        args.timeseries_json);
+
+  // Health bookkeeping across every run this process executed (ablation
+  // points fold in below); any trip fails the bench under --strict-health.
+  u64 health_checks = 0;
+  std::size_t health_trips = 0;
+  std::string tripped_flight;
+  auto note_health = [&](const IncastResult& r, const char* tag) {
+    health_checks += r.checks;
+    health_trips += r.trips.size();
+    if (!r.trips.empty()) {
+      print_trips(r, tag);
+      if (tripped_flight.empty()) tripped_flight = r.flight;
+    }
+  };
+  for (const auto& mr : runs) note_health(mr.a, cc::cc_mode_name(mr.mode));
+
+  if (args.ablate) {
+    std::vector<std::string> dumped;
     std::printf("\nablation: ECN mark threshold (dcqcn)\n");
     TablePrinter ta({"threshold", "trunk drops", "CE marks", "CNPs",
                      "retries", "JFI@75%", "finish ms"});
     for (std::size_t thresh : {8ul, 16ul, 32ul}) {
       Setup s2 = su;
       s2.ecn_threshold = thresh;
-      const IncastResult r = run_incast(cc::CcMode::kDcqcn, s2);
+      Obs o2 = obs;
+      o2.sample = false;  // per-point registries, not per-point trajectories
+      const IncastResult r = run_incast(cc::CcMode::kDcqcn, s2, o2);
       print_row(ta, std::to_string(thresh).c_str(), r);
+      note_health(r, ("ecn" + std::to_string(thresh)).c_str());
+      if (!args.metrics_json.empty()) {
+        const std::string p = bench::suffixed_path(
+            args.metrics_json, "ablate.ecn" + std::to_string(thresh));
+        if (bench::write_text_file(p, r.metrics, "ablation metrics"))
+          dumped.push_back(p);
+      }
     }
     ta.print();
 
@@ -260,10 +452,22 @@ int main(int argc, char** argv) {
     for (double beta : {0.2, 0.5, 0.8}) {
       Setup s2 = su;
       s2.cc.timely_beta = beta;
-      const IncastResult r = run_incast(cc::CcMode::kTimely, s2);
+      Obs o2 = obs;
+      o2.sample = false;
+      const IncastResult r = run_incast(cc::CcMode::kTimely, s2, o2);
+      const std::string tag = "beta" + TablePrinter::fmt(beta, 1);
       print_row(tb, TablePrinter::fmt(beta, 1).c_str(), r);
+      note_health(r, tag.c_str());
+      if (!args.metrics_json.empty()) {
+        const std::string p =
+            bench::suffixed_path(args.metrics_json, "ablate." + tag);
+        if (bench::write_text_file(p, r.metrics, "ablation metrics"))
+          dumped.push_back(p);
+      }
     }
     tb.print();
+    for (const std::string& p : dumped)
+      std::printf("ablation metrics written to %s\n", p.c_str());
   }
 
   // ---- gates ----
@@ -293,6 +497,24 @@ int main(int argc, char** argv) {
       rc = 1;
     }
   }
+
+  if (args.strict_health) {
+    if (health_trips > 0) {
+      std::fprintf(stderr, "FAIL: --strict-health saw %zu watchdog trip(s) "
+                           "across %llu checks\n",
+                   health_trips,
+                   static_cast<unsigned long long>(health_checks));
+      rc = 1;
+    } else {
+      std::printf("\nhealth: watchdog clean — %llu checks, 0 trips\n",
+                  static_cast<unsigned long long>(health_checks));
+    }
+    // Trip or gate failure: leave the post-mortem on disk.
+    if (rc != 0)
+      dump_flight(!tripped_flight.empty() ? tripped_flight : dcqcn.flight,
+                  flight_path);
+  }
+
   std::printf("\n%s\n", rc == 0 ? "all gates PASSED" : "GATES FAILED");
   return rc;
 }

@@ -89,14 +89,13 @@ int main(int argc, char** argv) {
                 "and WriteRec +24.4% up to 2KB; RC slightly ahead 16-64KB; "
                 "UD ahead again for large messages");
 
-  const std::string metrics_path = bench::metrics_json_path(argc, argv);
-  const std::string trace_path = bench::trace_json_path(argc, argv);
-  const std::string profile_path = bench::profile_json_path(argc, argv);
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   telemetry::Registry metrics;
   telemetry::TraceCapture capture;
   perf::Options opts;
-  if (!metrics_path.empty()) opts.metrics = &metrics;
-  if (!trace_path.empty() || !profile_path.empty()) opts.trace = &capture;
+  if (!args.metrics_json.empty()) opts.metrics = &metrics;
+  if (!args.trace_json.empty() || !args.profile_json.empty())
+    opts.trace = &capture;
 
   panel("small messages", size_sweep(1, 1024), 20, opts);
   panel("medium messages", size_sweep(2 * KiB, 64 * KiB), 12, opts);
@@ -119,7 +118,7 @@ int main(int argc, char** argv) {
               "measured %.1f%%\n",
               bench::pct_improvement(ud_wr, rc_w));
 
-  bench::dump_metrics(metrics, metrics_path);
-  bench::dump_capture(capture, trace_path, profile_path);
+  bench::dump_metrics(metrics, args.metrics_json);
+  bench::dump_capture(capture, args.trace_json, args.profile_json);
   return 0;
 }

@@ -33,7 +33,7 @@ constexpr std::size_t kUdpCacheBytes =
 constexpr std::size_t kHttpCacheBytes =
     static_cast<std::size_t>(kBitrate / 8.0 * 1.2);
 
-double run_udp(isock::XferMode mode) {
+double run_udp(isock::XferMode mode, telemetry::Registry* agg) {
   isock::ISockConfig cfg;
   cfg.ud_mode = mode;
   Rig r(cfg);
@@ -45,10 +45,11 @@ double run_udp(isock::XferMode mode) {
   media::MediaClient client(r.io_c);
   auto res = client.run_udp(r.server_host.endpoint(7000), kUdpCacheBytes,
                             20 * kSecond);
+  if (agg) agg->merge_from(r.fabric.sim().telemetry());
   return res.completed ? to_ms(res.buffering_time) : -1;
 }
 
-double run_http() {
+double run_http(telemetry::Registry* agg) {
   Rig r;
   media::StreamParams p;
   p.burst_start = false;
@@ -58,20 +59,28 @@ double run_http() {
   media::MediaClient client(r.io_c);
   auto res = client.run_http(r.server_host.endpoint(8080), kHttpCacheBytes,
                              30 * kSecond);
+  if (agg) agg->merge_from(r.fabric.sim().telemetry());
   return res.completed ? to_ms(res.buffering_time) : -1;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 9 — VLC streaming initial buffering time",
                 "UD buffering ~74.1% lower than the RC/HTTP mode; the UD "
                 "send/recv and Write-Record bars are nearly identical "
                 "(buffered-copy socket interface)");
 
-  const double ud_sr = run_udp(isock::XferMode::kSendRecv);
-  const double ud_wr = run_udp(isock::XferMode::kWriteRecord);
-  const double rc_http = run_http();
+  // --metrics-json: each run owns a private Fabric (its own registry), so
+  // the dump aggregates all three runs into one document, the way the
+  // harness-driven figures do through perf::Options::metrics.
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  telemetry::Registry agg;
+  telemetry::Registry* aggp = args.metrics_json.empty() ? nullptr : &agg;
+
+  const double ud_sr = run_udp(isock::XferMode::kSendRecv, aggp);
+  const double ud_wr = run_udp(isock::XferMode::kWriteRecord, aggp);
+  const double rc_http = run_http(aggp);
   // The RC socket path carries data via send/recv FPDUs regardless of the
   // configured datagram mode; as in the paper, the two RC bars coincide.
   const double rc_http_wr = rc_http;
@@ -89,5 +98,6 @@ int main() {
   std::printf("paper: UD S/R vs UD WriteRec nearly identical -> measured "
               "%.1f%% apart\n",
               std::abs(ud_sr - ud_wr) / ud_sr * 100.0);
+  bench::dump_metrics(agg, args.metrics_json);
   return 0;
 }

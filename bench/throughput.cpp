@@ -6,10 +6,24 @@
 // track the simulator's own performance trajectory across commits. Output
 // goes to BENCH_throughput.json (override with --out <path>); the checked-
 // in copy at the repo root is the trajectory's first point. Event counts
-// are deterministic; wall times and events/sec vary with the machine.
+// and allocation counts are deterministic; wall times and events/sec vary
+// with the machine.
+//
+// --repeat N runs every workload N times and reports the min and median
+// wall time (min is the least-noise estimate of what the code costs; the
+// spread is scheduler noise). Event and allocation counts are asserted
+// identical across repeats — a divergence means the engine lost
+// determinism, and the process exits nonzero.
+//
+// Self-metrics: heap allocations on the Frame/ByteBuffer paths are counted
+// by the always-on mem::CountingAllocator behind `Bytes`, so every sample
+// reports allocs, alloc bytes and allocs/event — the "is the hot path
+// allocating more than it used to" trajectory next to events/s.
 #include "bench_util.hpp"
+#include "common/memcount.hpp"
 #include "perf/cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace dgiwarp;
@@ -19,30 +33,55 @@ namespace {
 struct Sample {
   std::string name;
   u64 events = 0;
-  double wall_ms = 0.0;
+  double wall_ms = 0.0;         // min across repeats
+  double wall_ms_median = 0.0;
   double virtual_ms = 0.0;
-  double events_per_sec = 0.0;
+  double events_per_sec = 0.0;  // events / min wall
+  u64 allocs = 0;               // Bytes-path heap allocations (one repeat)
+  u64 alloc_bytes = 0;
   std::string metrics;  // registry JSON, kept only when --metrics-json is set
 };
 
-Sample run_workload(const std::string& name, perf::ClusterConfig cfg,
-                    bool media, bool keep_metrics) {
-  perf::ClusterHarness cluster(cfg);
-  const auto t0 = std::chrono::steady_clock::now();
-  const perf::ClusterReport rep = media ? cluster.run_media()
-                                        : cluster.run_sip();
-  const auto t1 = std::chrono::steady_clock::now();
-
+Sample run_workload(const std::string& name, const perf::ClusterConfig& cfg,
+                    bool media, bool keep_metrics, int repeat) {
   Sample s;
   s.name = name;
-  s.events = rep.events;
-  s.wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-  s.virtual_ms = static_cast<double>(rep.virtual_time) / 1e6;
+  std::vector<double> walls;
+  for (int i = 0; i < repeat; ++i) {
+    perf::ClusterHarness cluster(cfg);
+    const mem::AllocTally before = mem::snapshot();
+    const auto t0 = std::chrono::steady_clock::now();
+    const perf::ClusterReport rep = media ? cluster.run_media()
+                                          : cluster.run_sip();
+    const auto t1 = std::chrono::steady_clock::now();
+    const mem::AllocTally d = mem::delta(before);
+
+    walls.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (i == 0) {
+      s.events = rep.events;
+      s.virtual_ms = static_cast<double>(rep.virtual_time) / 1e6;
+      s.allocs = d.count;
+      s.alloc_bytes = d.bytes;
+      if (keep_metrics) s.metrics = cluster.metrics_json();
+    } else if (rep.events != s.events || d.count != s.allocs) {
+      std::fprintf(stderr,
+                   "FAIL: %s repeat %d diverged (events %llu vs %llu, "
+                   "allocs %llu vs %llu)\n",
+                   name.c_str(), i,
+                   static_cast<unsigned long long>(rep.events),
+                   static_cast<unsigned long long>(s.events),
+                   static_cast<unsigned long long>(d.count),
+                   static_cast<unsigned long long>(s.allocs));
+      std::exit(1);
+    }
+  }
+  std::sort(walls.begin(), walls.end());
+  s.wall_ms = walls.front();
+  s.wall_ms_median = walls[walls.size() / 2];
   s.events_per_sec =
       s.wall_ms > 0.0 ? static_cast<double>(s.events) / (s.wall_ms / 1e3)
                       : 0.0;
-  if (keep_metrics) s.metrics = cluster.metrics_json();
   return s;
 }
 
@@ -55,8 +94,9 @@ int main(int argc, char** argv) {
 
   // --metrics-json <path>: per-workload registry snapshots (the virtual-time
   // side of each run is deterministic even though the wall times are not).
-  const std::string metrics_path = bench::metrics_json_path(argc, argv);
-  const bool keep_metrics = !metrics_path.empty();
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const bool keep_metrics = !args.metrics_json.empty();
+  const int repeat = std::max(args.repeat, 1);
 
   std::vector<Sample> samples;
 
@@ -65,22 +105,24 @@ int main(int argc, char** argv) {
     cfg.pairs = 8;
     cfg.calls_per_pair = 25;
     cfg.transport = sip::Transport::kUd;
-    samples.push_back(run_workload("sip_ud_8x25", cfg, false, keep_metrics));
+    samples.push_back(
+        run_workload("sip_ud_8x25", cfg, false, keep_metrics, repeat));
   }
   {
     perf::ClusterConfig cfg;
     cfg.pairs = 8;
     cfg.calls_per_pair = 10;
     cfg.transport = sip::Transport::kRc;
-    samples.push_back(run_workload("sip_rc_8x10", cfg, false, keep_metrics));
+    samples.push_back(
+        run_workload("sip_rc_8x10", cfg, false, keep_metrics, repeat));
   }
   {
     perf::ClusterConfig cfg;
     cfg.pairs = 4;
     cfg.topo.leaves = 2;
     cfg.media_prebuffer = 512 * 1024;
-    samples.push_back(run_workload("media_ud_4x512k", cfg, true,
-                                   keep_metrics));
+    samples.push_back(
+        run_workload("media_ud_4x512k", cfg, true, keep_metrics, repeat));
   }
   {
     // Multi-leaf SIP: same tenant load as sip_ud_8x25 but crossing a
@@ -91,11 +133,14 @@ int main(int argc, char** argv) {
     cfg.topo.leaves = 4;
     cfg.topo.trunk_cables = 2;
     samples.push_back(run_workload("sip_ud_8x25_leafspine", cfg, false,
-                                   keep_metrics));
+                                   keep_metrics, repeat));
   }
 
+  if (repeat > 1)
+    std::printf("%d repeats per workload; wall ms is the min (median in "
+                "the JSON)\n\n", repeat);
   TablePrinter t({"workload", "events", "wall ms", "virtual ms",
-                  "Mevents/s"});
+                  "Mevents/s", "allocs", "allocs/evt"});
   u64 total_events = 0;
   double total_wall = 0.0;
   for (const auto& s : samples) {
@@ -104,7 +149,12 @@ int main(int argc, char** argv) {
     t.add_row({s.name, std::to_string(s.events),
                TablePrinter::fmt(s.wall_ms, 1),
                TablePrinter::fmt(s.virtual_ms, 1),
-               TablePrinter::fmt(s.events_per_sec / 1e6, 2)});
+               TablePrinter::fmt(s.events_per_sec / 1e6, 2),
+               std::to_string(s.allocs),
+               TablePrinter::fmt(static_cast<double>(s.allocs) /
+                                     static_cast<double>(
+                                         std::max<u64>(s.events, 1)),
+                                 2)});
   }
   t.print();
   const double aggregate =
@@ -115,22 +165,29 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_events), total_wall,
               aggregate / 1e6);
 
-  std::string out = bench::arg_path(argc, argv, "--out");
+  std::string out = args.out;
   if (out.empty()) out = "BENCH_throughput.json";
   if (FILE* f = std::fopen(out.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"schema\": \"dgiwarp-throughput-v1\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"dgiwarp-throughput-v2\",\n");
+    std::fprintf(f, "  \"repeat\": %d,\n", repeat);
     std::fprintf(f, "  \"aggregate_events_per_sec\": %.0f,\n", aggregate);
     std::fprintf(f, "  \"workloads\": [\n");
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const auto& s = samples[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"events\": %llu, "
-                   "\"wall_ms\": %.1f, \"virtual_ms\": %.3f, "
-                   "\"events_per_sec\": %.0f}%s\n",
-                   s.name.c_str(),
-                   static_cast<unsigned long long>(s.events), s.wall_ms,
-                   s.virtual_ms, s.events_per_sec,
-                   i + 1 < samples.size() ? "," : "");
+      std::fprintf(
+          f,
+          "    {\"name\": \"%s\", \"events\": %llu, "
+          "\"wall_ms\": %.1f, \"wall_ms_median\": %.1f, "
+          "\"virtual_ms\": %.3f, \"events_per_sec\": %.0f, "
+          "\"allocs\": %llu, \"alloc_bytes\": %llu, "
+          "\"allocs_per_event\": %.3f}%s\n",
+          s.name.c_str(), static_cast<unsigned long long>(s.events),
+          s.wall_ms, s.wall_ms_median, s.virtual_ms, s.events_per_sec,
+          static_cast<unsigned long long>(s.allocs),
+          static_cast<unsigned long long>(s.alloc_bytes),
+          static_cast<double>(s.allocs) /
+              static_cast<double>(std::max<u64>(s.events, 1)),
+          i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -141,7 +198,7 @@ int main(int argc, char** argv) {
   }
 
   if (keep_metrics) {
-    if (FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+    if (FILE* f = std::fopen(args.metrics_json.c_str(), "w")) {
       std::fprintf(f, "{\n");
       for (std::size_t i = 0; i < samples.size(); ++i) {
         std::fprintf(f, "  \"%s\": %s%s\n", samples[i].name.c_str(),
@@ -150,9 +207,9 @@ int main(int argc, char** argv) {
       }
       std::fprintf(f, "}\n");
       std::fclose(f);
-      std::printf("metrics written to %s\n", metrics_path.c_str());
+      std::printf("metrics written to %s\n", args.metrics_json.c_str());
     } else {
-      std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
+      std::fprintf(stderr, "failed to write %s\n", args.metrics_json.c_str());
       return 1;
     }
   }

@@ -10,12 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "common/memcount.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace dgiwarp {
 
-using Bytes = std::vector<u8>;
+// Counting allocator so every wire buffer in the stack feeds the
+// allocs-per-event self-metric (common/memcount.hpp). Layout-compatible
+// with std::vector<u8>; the allocator is stateless.
+using Bytes = std::vector<u8, mem::CountingAllocator<u8>>;
 using ByteSpan = std::span<u8>;
 using ConstByteSpan = std::span<const u8>;
 

@@ -1,6 +1,7 @@
 #include "perf/cluster.hpp"
 
 #include "isock/isock.hpp"
+#include "telemetry/flight.hpp"
 
 namespace dgiwarp::perf {
 
@@ -18,12 +19,31 @@ struct ClusterHarness::Tenant {
 
 ClusterHarness::ClusterHarness(ClusterConfig cfg)
     : cfg_(cfg), topo_(cfg.topo) {
+  auto& reg = topo_.sim().telemetry();
   if (cfg_.trace) {
-    auto& reg = topo_.sim().telemetry();
     reg.spans().enable();
     reg.profiler().enable();
     reg.trace().enable();
   }
+  if (cfg_.health.sample) {
+    telemetry::SamplerConfig sc;
+    sc.interval = cfg_.health.sample_interval;
+    reg.sampler().enable(sc);
+    // Fleet-wide counters worth a trajectory at scale: loss, recovery
+    // effort, goodput.
+    reg.sampler().add_counter("simnet.link.drops");
+    reg.sampler().add_counter("rd.retries");
+    reg.sampler().add_counter("rd.data_rx");
+  }
+  if (cfg_.health.watch) {
+    telemetry::WatchdogConfig wc;
+    wc.interval = cfg_.health.watch_interval;
+    reg.watchdog().enable(wc);
+    // A flight-recorder dump without trace events is a black box; the ring
+    // is bounded, so arming it at scale stays cheap.
+    if (!reg.trace().enabled()) reg.trace().enable();
+  }
+  topo_.attach_health();  // no-op unless sampler/watchdog armed above
 }
 
 ClusterHarness::~ClusterHarness() = default;
@@ -59,8 +79,30 @@ void ClusterHarness::build_tenants() {
         std::make_unique<isock::ISockStack>(t->server_node->device(), scfg);
     t->client_io =
         std::make_unique<isock::ISockStack>(t->client_node->device(), scfg);
+
+    // Per-tenant rollups: the registry's flat aggregate cannot tell one
+    // leaking tenant from a thousand healthy ones.
+    auto& reg = topo_.sim().telemetry();
+    verbs::Node* srv = t->server_node.get();
+    auto srv_mem = [srv] {
+      return static_cast<double>(srv->host().ledger().total());
+    };
+    if (cfg_.health.watch) reg.watchdog().watch_ledger(srv->name(), srv_mem);
+    if (cfg_.health.sample && i < cfg_.health.sample_tenants)
+      reg.sampler().add_probe("tenant." + srv->name() + ".mem", srv_mem);
+
     tenants_.push_back(std::move(t));
   }
+}
+
+void ClusterHarness::fill_health(ClusterReport& rep) const {
+  const auto& reg = topo_.sim().telemetry();
+  const telemetry::Watchdog& wd = reg.watchdog();
+  if (!wd.enabled()) return;
+  rep.watchdog_checks = wd.checks();
+  rep.watchdog_trips = wd.trips().size();
+  rep.flight = telemetry::flight_recorder_json(
+      reg, wd.tripped() ? "watchdog trip" : "cluster health snapshot");
 }
 
 bool ClusterHarness::chunked_wait(const std::function<bool()>& done,
@@ -135,6 +177,7 @@ ClusterReport ClusterHarness::run_sip() {
 
   rep.events = sim.events_executed();
   rep.virtual_time = sim.now();
+  fill_health(rep);
   absorb_trace();
   return rep;
 }
@@ -182,6 +225,7 @@ ClusterReport ClusterHarness::run_media() {
   }
   rep.events = sim.events_executed();
   rep.virtual_time = sim.now();
+  fill_health(rep);
   absorb_trace();
   return rep;
 }

@@ -49,6 +49,24 @@ struct ClusterConfig {
   /// Enabling changes which histograms accumulate, so keep it identical
   /// across runs being compared for determinism.
   telemetry::TraceCapture* trace = nullptr;
+  /// Fabric-health observability (--strict-health / --timeseries-json).
+  /// `watch` arms the Watchdog before any traffic: stuck-queue rules on
+  /// every trunk LAG member (Topology::attach_health) plus a per-tenant
+  /// mem-leak rule on each server's MemLedger, and enables the trace ring
+  /// so a flight-recorder dump has events to show. `sample` enables the
+  /// Sampler with trunk queue-depth probes, fleet counters, and per-tenant
+  /// memory series for the first `sample_tenants` tenants (bounded so a
+  /// 1000-host fleet does not swamp the export). Both change which registry
+  /// keys exist, so keep them identical across runs compared for
+  /// determinism.
+  struct Health {
+    bool watch = false;
+    bool sample = false;
+    TimeNs watch_interval = 1 * kMillisecond;
+    TimeNs sample_interval = 1 * kMillisecond;
+    std::size_t sample_tenants = 4;
+  };
+  Health health;
 };
 
 /// One tenant's ledger snapshot, taken at peak (all calls up).
@@ -74,6 +92,12 @@ struct ClusterReport {
   /// Media mode: aggregate client results.
   std::size_t streams_completed = 0;
   std::size_t media_bytes = 0;
+  /// Health (populated when ClusterConfig::health.watch is set).
+  u64 watchdog_checks = 0;
+  std::size_t watchdog_trips = 0;
+  /// Flight-recorder JSON snapshot taken at end of run (empty when the
+  /// watchdog is off); callers write it to disk on trip / gate failure.
+  std::string flight;
 };
 
 class ClusterHarness {
@@ -100,6 +124,9 @@ class ClusterHarness {
   void build_tenants();
   /// Fold the finished run into cfg_.trace (no-op when tracing is off).
   void absorb_trace();
+  /// Populate the report's watchdog fields + flight snapshot (no-op when
+  /// health.watch is off).
+  void fill_health(ClusterReport& rep) const;
   /// Advance the clock in fixed chunks until done() or the deadline.
   bool chunked_wait(const std::function<bool()>& done, TimeNs deadline);
 

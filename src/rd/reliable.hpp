@@ -154,6 +154,11 @@ class ReliableDatagram {
   /// unknown packet type; never reads past `wire`.
   static Result<PacketView> parse_packet(ConstByteSpan wire, bool check_crc);
 
+  /// Stable per-peer key used with the RateController (cc.hpp) — public so
+  /// observability rollups (per-flow rate series, rate-floor watchdogs) can
+  /// ask the controller about a specific peer.
+  static u64 flow_key(Endpoint ep) { return (u64{ep.ip} << 16) | ep.port; }
+
  private:
   struct Pending {
     Bytes wire;     // full RD packet, ready for retransmission
@@ -237,9 +242,6 @@ class ReliableDatagram {
   TimeNs peer_rto(const PeerTx& tx) const {
     return tx.rto > 0 ? tx.rto : config_.rto;
   }
-  /// RateController flow key for a peer (packed endpoint).
-  static u64 flow_key(Endpoint ep) { return (u64{ep.ip} << 16) | ep.port; }
-
   host::HostCtx& ctx_;
   host::UdpSocket& socket_;
   RdConfig config_;

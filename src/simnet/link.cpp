@@ -44,6 +44,14 @@ TimeNs Link::serialization_delay(std::size_t wire_bytes) const {
 std::size_t Link::queue_depth() const {
   while (!departures_.empty() && departures_.front() <= sim_.now())
     departures_.pop_front();
+  // Refresh the registry gauge after pruning: it is otherwise only set at
+  // enqueue time, so on an idle link it would keep reporting the depth as
+  // of the last transmit — phantom standing queue to anything sampling the
+  // gauge between frames. Guarded on max_depth_ so a never-used link does
+  // not materialize the key (enqueue is what first creates it).
+  if (max_depth_ > 0)
+    sim_.telemetry().gauge("simnet.link.queue_depth")
+        .set(static_cast<double>(departures_.size()));
   return departures_.size();
 }
 

@@ -77,6 +77,23 @@ std::size_t Topology::add_host(const std::string& name) {
   return index;
 }
 
+void Topology::attach_health() {
+  auto& reg = sim_.telemetry();
+  const bool sample = reg.sampler().enabled();
+  const bool watch = reg.watchdog().enabled();
+  if (!sample && !watch) return;
+  auto register_link = [&](Link* l) {
+    auto depth = [l] { return static_cast<double>(l->queue_depth()); };
+    if (sample)
+      reg.sampler().add_probe("link." + l->name() + ".queue_depth", depth);
+    if (watch) reg.watchdog().watch_queue(l->name(), depth);
+  };
+  for (Trunk& t : trunks_) {
+    for (auto& cable : t.up) register_link(cable.get());
+    for (auto& cable : t.down) register_link(cable.get());
+  }
+}
+
 double Topology::oversubscription(std::size_t i) const {
   double host_bps = 0.0;
   for (std::size_t h = 0; h < locs_.size(); ++h)

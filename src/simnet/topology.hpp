@@ -87,6 +87,15 @@ class Topology {
   /// means the leaf is oversubscribed and incast toward the trunk queues.
   double oversubscription(std::size_t i) const;
 
+  /// Register per-trunk observability rollups with the simulation's
+  /// telemetry layers: every trunk LAG member gets a queue-depth probe
+  /// series ("link.<name>.queue_depth") on the Sampler and a stuck-queue
+  /// watch on the Watchdog — whichever of the two is enabled at call time.
+  /// Host cables are deliberately skipped: at cluster scale the trunks are
+  /// where incast shows, and per-host series would swamp the export. Call
+  /// after enabling the sampler/watchdog and before running traffic.
+  void attach_health();
+
  private:
   struct HostLoc {
     std::size_t leaf = 0;

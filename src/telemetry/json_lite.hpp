@@ -1,0 +1,128 @@
+// Minimal recursive-descent JSON reader shared by the exporters' schema
+// validators (trace_export, series, flight). This is NOT a general JSON
+// library: it exists so `--trace-json` / `--timeseries-json` / flight
+// recorder dumps can be structurally checked in tests and benches without
+// pulling in an external dependency. Documents are produced by this repo's
+// own deterministic writers, so the reader favours simplicity over strict
+// RFC conformance (e.g. \u escapes are skipped, not decoded).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace dgiwarp::telemetry {
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t i = 0;
+  std::string err;
+
+  bool fail(const std::string& m) {
+    if (err.empty()) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " at offset %zu", i);
+      err = m + buf;
+    }
+    return false;
+  }
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool expect(char c) {
+    ws();
+    if (i >= s.size() || s[i] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++i;
+    return true;
+  }
+  bool peek_is(char c) {
+    ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    std::string v;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return fail("truncated escape");
+        char e = s[i++];
+        switch (e) {
+          case '"': v += '"'; break;
+          case '\\': v += '\\'; break;
+          case '/': v += '/'; break;
+          case 'n': v += '\n'; break;
+          case 't': v += '\t'; break;
+          case 'r': v += '\r'; break;
+          case 'b': case 'f': break;
+          case 'u':
+            if (i + 4 > s.size()) return fail("truncated \\u escape");
+            i += 4;
+            v += '?';
+            break;
+          default: return fail("bad escape");
+        }
+      } else {
+        v += c;
+      }
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;  // closing quote
+    if (out) *out = std::move(v);
+    return true;
+  }
+
+  bool parse_number(double* out) {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    bool digits = false;
+    while (i < s.size() &&
+           ((s[i] >= '0' && s[i] <= '9') || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E' || s[i] == '-' || s[i] == '+'))
+      digits = true, ++i;
+    if (!digits) return fail("expected number");
+    if (out) *out = std::strtod(std::string(s.substr(start, i - start)).c_str(),
+                                nullptr);
+    return true;
+  }
+
+  bool skip_value() {
+    ws();
+    if (i >= s.size()) return fail("unexpected end");
+    const char c = s[i];
+    if (c == '"') return parse_string(nullptr);
+    if (c == '{') {
+      ++i;
+      if (peek_is('}')) return expect('}');
+      while (true) {
+        if (!parse_string(nullptr) || !expect(':') || !skip_value())
+          return false;
+        if (peek_is(',')) { ++i; continue; }
+        return expect('}');
+      }
+    }
+    if (c == '[') {
+      ++i;
+      if (peek_is(']')) return expect(']');
+      while (true) {
+        if (!skip_value()) return false;
+        if (peek_is(',')) { ++i; continue; }
+        return expect(']');
+      }
+    }
+    if (s.compare(i, 4, "true") == 0) { i += 4; return true; }
+    if (s.compare(i, 5, "false") == 0) { i += 5; return true; }
+    if (s.compare(i, 4, "null") == 0) { i += 4; return true; }
+    return parse_number(nullptr);
+  }
+};
+
+}  // namespace dgiwarp::telemetry

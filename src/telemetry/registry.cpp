@@ -53,11 +53,18 @@ Registry::Registry() {
   // stamp real timestamps once events execute.
   trace_.set_clock(&now_);
   spans_.set_clock(&now_);
+  sampler_.bind(this);
+  watchdog_.bind(this);
 }
 
 u64 Registry::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* Registry::find_histogram(const std::string& name) const {

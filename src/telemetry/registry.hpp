@@ -22,7 +22,9 @@
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/series.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 
@@ -129,8 +131,15 @@ class Registry {
 
   /// Read-only lookup without creating (0 / nullptr when absent).
   u64 counter_value(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
   bool has(const std::string& name) const;
+  /// Read-only iteration over the stored maps (flight recorder, tests).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
@@ -148,6 +157,16 @@ class Registry {
   CostProfiler& profiler() { return profiler_; }
   const CostProfiler& profiler() const { return profiler_; }
 
+  /// Virtual-time series sampler (series.hpp): snapshots selected
+  /// counters/gauges/probes on a fixed cadence; disabled by default.
+  Sampler& sampler() { return sampler_; }
+  const Sampler& sampler() const { return sampler_; }
+
+  /// Invariant watchdogs (health.hpp): stuck queues, stalled flows, retx
+  /// storms, pinned rates, memory leaks; disabled by default.
+  Watchdog& watchdog() { return watchdog_; }
+  const Watchdog& watchdog() const { return watchdog_; }
+
   /// Per-Simulation frame-id allocator (used by sim::Nic once telemetry is
   /// bound). Scoping ids to the Simulation — instead of a process-global
   /// counter — keeps exported traces byte-identical across same-seed runs
@@ -158,7 +177,13 @@ class Registry {
   /// execute; trace events are stamped from it so instrumented layers never
   /// call Simulation::now() themselves.
   TimeNs now() const { return now_; }
-  void advance_clock(TimeNs t) { now_ = t; }
+  void advance_clock(TimeNs t) {
+    now_ = t;
+    // One predictable branch each when the layers are off — the same
+    // hot-path discipline as TraceRing::record.
+    if (sampler_.enabled()) sampler_.on_advance(t);
+    if (watchdog_.enabled()) watchdog_.on_advance(t);
+  }
 
   /// Fold another registry into this one (counters add, gauges keep the
   /// overall max / latest value, histogram samples append, trace events
@@ -178,6 +203,8 @@ class Registry {
   TraceRing trace_;
   SpanTracker spans_;
   CostProfiler profiler_;
+  Sampler sampler_;
+  Watchdog watchdog_;
   u64 next_frame_id_ = 1;
   TimeNs now_ = 0;
 };

@@ -1,0 +1,382 @@
+#include "telemetry/series.hpp"
+
+#include <cstdio>
+
+#include "telemetry/json_lite.hpp"
+#include "telemetry/registry.hpp"
+
+namespace dgiwarp::telemetry {
+
+namespace {
+
+void append_u64(std::string& out, u64 v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Same deterministic formatting as registry.cpp: %.17g round-trips exactly.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void TimeSeries::push(TimeNs t, double v) {
+  if (ring_.size() < cap_) {
+    ring_.push_back(SeriesPoint{t, v});
+  } else {
+    ring_[head_] = SeriesPoint{t, v};  // overwrite the oldest
+    head_ = (head_ + 1) % cap_;
+  }
+  ++recorded_;
+}
+
+std::vector<SeriesPoint> TimeSeries::snapshot() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < cap_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<long>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<long>(head_));
+  }
+  return out;
+}
+
+SeriesPoint TimeSeries::last() const {
+  if (ring_.empty()) return {};
+  if (ring_.size() < cap_) return ring_.back();
+  return ring_[(head_ + cap_ - 1) % cap_];
+}
+
+void Sampler::enable(SamplerConfig cfg) {
+  if (cfg.interval <= 0) cfg.interval = 100 * kMicrosecond;
+  cfg_ = cfg;
+  enabled_ = true;
+  next_due_ = 0;
+  last_boundary_ = 0;
+  samples_ = 0;
+  sources_.clear();
+  series_.clear();
+}
+
+void Sampler::add_probe(const std::string& name, std::function<double()> fn,
+                        bool rate) {
+  Source s;
+  s.kind = Source::Kind::kProbe;
+  s.name = name;
+  s.fn = std::move(fn);
+  s.rate = rate;
+  sources_.push_back(std::move(s));
+  series_.try_emplace(name, "probe", cfg_.capacity);
+  if (rate) series_.try_emplace(name + ".rate", "rate", cfg_.capacity);
+}
+
+void Sampler::add_counter(const std::string& counter_name) {
+  Source s;
+  s.kind = Source::Kind::kCounter;
+  s.name = counter_name;
+  s.rate = true;
+  sources_.push_back(std::move(s));
+  series_.try_emplace(counter_name, "counter", cfg_.capacity);
+  series_.try_emplace(counter_name + ".rate", "rate", cfg_.capacity);
+}
+
+void Sampler::add_gauge(const std::string& gauge_name) {
+  Source s;
+  s.kind = Source::Kind::kGauge;
+  s.name = gauge_name;
+  sources_.push_back(std::move(s));
+  series_.try_emplace(gauge_name, "gauge", cfg_.capacity);
+}
+
+void Sampler::sample_at(TimeNs boundary) {
+  const double dt_sec =
+      samples_ > 0 ? static_cast<double>(boundary - last_boundary_) * 1e-9
+                   : 0.0;
+  for (Source& src : sources_) {
+    double v = 0.0;
+    switch (src.kind) {
+      case Source::Kind::kProbe:
+        v = src.fn ? src.fn() : 0.0;
+        break;
+      case Source::Kind::kCounter:
+        v = reg_ ? static_cast<double>(reg_->counter_value(src.name)) : 0.0;
+        break;
+      case Source::Kind::kGauge: {
+        const Gauge* g = reg_ ? reg_->find_gauge(src.name) : nullptr;
+        v = g ? g->value() : 0.0;
+        break;
+      }
+    }
+    series_[src.name].push(boundary, v);
+    if (src.rate) {
+      const double r =
+          (src.have_last && dt_sec > 0.0) ? (v - src.last) / dt_sec : 0.0;
+      series_[src.name + ".rate"].push(boundary, r);
+    }
+    src.last = v;
+    src.have_last = true;
+  }
+  last_boundary_ = boundary;
+  ++samples_;
+}
+
+const TimeSeries* Sampler::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Sampler::series_names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ts] : series_) out.push_back(name);
+  return out;
+}
+
+std::string Sampler::run_json() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"interval_ns\": ";
+  append_u64(out, static_cast<u64>(cfg_.interval));
+  out += ", \"samples\": ";
+  append_u64(out, samples_);
+  out += ", \"series\": {";
+  bool first = true;
+  for (const auto& [name, ts] : series_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\": {\"kind\": \"";
+    out += ts.kind();
+    out += "\", \"recorded\": ";
+    append_u64(out, ts.recorded());
+    out += ", \"dropped\": ";
+    append_u64(out, ts.dropped());
+    out += ", \"points\": [";
+    bool pfirst = true;
+    for (const SeriesPoint& p : ts.snapshot()) {
+      out += pfirst ? "[" : ",[";
+      pfirst = false;
+      append_u64(out, static_cast<u64>(p.t));
+      out += ',';
+      append_double(out, p.v);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += first ? "}}" : "\n  }}";
+  return out;
+}
+
+std::string Sampler::to_json() const {
+  return timeseries_document({{"run", run_json()}});
+}
+
+std::string timeseries_document(
+    const std::vector<std::pair<std::string, std::string>>& runs) {
+  std::string out = "{\n  \"schema\": \"";
+  out += kTimeseriesSchema;
+  out += "\",\n  \"runs\": {";
+  bool first = true;
+  for (const auto& [name, fragment] : runs) {
+    out += first ? "\n  " : ",\n  ";
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\": ";
+    out += fragment;
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+Status Sampler::write_json_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status(Errc::kNotFound, "cannot open " + path);
+  const std::string json = to_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size())
+    return Status(Errc::kResourceExhausted, "short write to " + path);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation.
+
+namespace {
+
+Status invalid(const JsonParser& p, const std::string& what) {
+  return Status(Errc::kInvalidArgument,
+                "timeseries: " + what + (p.err.empty() ? "" : ": " + p.err));
+}
+
+bool parse_points(JsonParser& p, std::string* why) {
+  if (!p.expect('[')) return false;
+  double prev_t = -1.0;
+  if (!p.peek_is(']')) {
+    while (true) {
+      double t = 0.0, v = 0.0;
+      if (!p.expect('[') || !p.parse_number(&t) || !p.expect(',') ||
+          !p.parse_number(&v) || !p.expect(']'))
+        return false;
+      if (t <= prev_t) {
+        *why = "point timestamps not strictly increasing";
+        return false;
+      }
+      prev_t = t;
+      if (p.peek_is(',')) { ++p.i; continue; }
+      break;
+    }
+  }
+  return p.expect(']');
+}
+
+bool parse_series_entry(JsonParser& p, std::string* why) {
+  if (!p.expect('{')) return false;
+  bool saw_kind = false, saw_points = false;
+  if (!p.peek_is('}')) {
+    while (true) {
+      std::string key;
+      if (!p.parse_string(&key) || !p.expect(':')) return false;
+      if (key == "kind") {
+        std::string kind;
+        if (!p.parse_string(&kind)) return false;
+        if (kind != "probe" && kind != "counter" && kind != "gauge" &&
+            kind != "rate") {
+          *why = "unknown series kind '" + kind + "'";
+          return false;
+        }
+        saw_kind = true;
+      } else if (key == "points") {
+        if (!parse_points(p, why)) return false;
+        saw_points = true;
+      } else if (key == "recorded" || key == "dropped") {
+        double v = 0.0;
+        if (!p.parse_number(&v)) return false;
+      } else {
+        if (!p.skip_value()) return false;
+      }
+      if (p.peek_is(',')) { ++p.i; continue; }
+      break;
+    }
+  }
+  if (!p.expect('}')) return false;
+  if (!saw_kind) { *why = "series missing kind"; return false; }
+  if (!saw_points) { *why = "series missing points"; return false; }
+  return true;
+}
+
+bool parse_run(JsonParser& p, std::string* why) {
+  if (!p.expect('{')) return false;
+  bool saw_interval = false, saw_series = false;
+  if (!p.peek_is('}')) {
+    while (true) {
+      std::string key;
+      if (!p.parse_string(&key) || !p.expect(':')) return false;
+      if (key == "interval_ns") {
+        double v = 0.0;
+        if (!p.parse_number(&v)) return false;
+        if (v <= 0.0) { *why = "interval_ns must be positive"; return false; }
+        saw_interval = true;
+      } else if (key == "series") {
+        if (!p.expect('{')) return false;
+        if (!p.peek_is('}')) {
+          while (true) {
+            if (!p.parse_string(nullptr) || !p.expect(':') ||
+                !parse_series_entry(p, why))
+              return false;
+            if (p.peek_is(',')) { ++p.i; continue; }
+            break;
+          }
+        }
+        if (!p.expect('}')) return false;
+        saw_series = true;
+      } else {
+        if (!p.skip_value()) return false;
+      }
+      if (p.peek_is(',')) { ++p.i; continue; }
+      break;
+    }
+  }
+  if (!p.expect('}')) return false;
+  if (!saw_interval) { *why = "run missing interval_ns"; return false; }
+  if (!saw_series) { *why = "run missing series"; return false; }
+  return true;
+}
+
+}  // namespace
+
+Status validate_timeseries_json(std::string_view json) {
+  JsonParser p{json, 0, {}};
+  std::string why;
+  bool saw_schema = false, saw_runs = false;
+
+  if (!p.expect('{')) return invalid(p, "not an object");
+  if (!p.peek_is('}')) {
+    while (true) {
+      std::string key;
+      if (!p.parse_string(&key) || !p.expect(':'))
+        return invalid(p, "bad key");
+      if (key == "schema") {
+        std::string schema;
+        if (!p.parse_string(&schema)) return invalid(p, "bad schema");
+        if (schema != kTimeseriesSchema)
+          return invalid(p, "wrong schema '" + schema + "'");
+        saw_schema = true;
+      } else if (key == "runs") {
+        if (!p.expect('{')) return invalid(p, "runs not an object");
+        if (!p.peek_is('}')) {
+          while (true) {
+            if (!p.parse_string(nullptr) || !p.expect(':'))
+              return invalid(p, "bad run name");
+            if (!parse_run(p, &why))
+              return invalid(p, why.empty() ? "malformed run" : why);
+            if (p.peek_is(',')) { ++p.i; continue; }
+            break;
+          }
+        }
+        if (!p.expect('}')) return invalid(p, "unterminated runs");
+        saw_runs = true;
+      } else {
+        if (!p.skip_value()) return invalid(p, "bad value");
+      }
+      if (p.peek_is(',')) { ++p.i; continue; }
+      break;
+    }
+  }
+  if (!p.expect('}')) return invalid(p, "unterminated document");
+  p.ws();
+  if (p.i != json.size()) return invalid(p, "trailing garbage");
+  if (!saw_schema) return invalid(p, "missing schema");
+  if (!saw_runs) return invalid(p, "missing runs");
+  return Status::Ok();
+}
+
+}  // namespace dgiwarp::telemetry

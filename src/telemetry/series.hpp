@@ -1,0 +1,163 @@
+// Virtual-time time-series sampling over the telemetry registry.
+//
+// The registry (registry.hpp) aggregates end-of-run totals; the paper-style
+// questions the benches actually ask — how fast DCQCN converges after an
+// incast burst, whether a trunk queue drains between rounds, whether a
+// tenant's memory footprint plateaus — are about *trajectories*. A Sampler
+// snapshots a chosen set of sources on a fixed virtual-time cadence into
+// bounded ring-buffered series:
+//
+//   - registry counters by name (plus a derived `<name>.rate` in events/s),
+//   - registry gauges by name,
+//   - arbitrary probes (std::function<double()>): per-link queue depth via
+//     a sim::Topology handle, per-flow cc rate, per-tenant MemLedger
+//     totals — the rollups the registry's flat aggregate cannot express.
+//
+// Sampling is driven from Registry::advance_clock (one predictable branch
+// when disabled — the same near-zero-cost discipline as the trace ring),
+// so it ticks on ordinary event execution and on idle deadline advances
+// alike; every interval boundary the clock crosses gets exactly one sample,
+// which is what makes two same-seed runs export byte-identical documents.
+//
+// Export is `--timeseries-json`: schema "dgiwarp.timeseries.v1", one or
+// more named runs (timeseries_document) each holding this sampler's series.
+// validate_timeseries_json structurally checks a document the way
+// validate_trace_event_json checks Perfetto exports.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace dgiwarp::telemetry {
+
+class Registry;
+
+inline constexpr const char* kTimeseriesSchema = "dgiwarp.timeseries.v1";
+
+struct SeriesPoint {
+  TimeNs t = 0;
+  double v = 0.0;
+};
+
+/// Fixed-capacity point ring: once full the oldest point is overwritten and
+/// counted in dropped(), so memory stays bounded regardless of run length
+/// (the TraceRing discipline).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(const char* kind, std::size_t capacity)
+      : kind_(kind), cap_(capacity ? capacity : 1) {
+    ring_.reserve(cap_);
+  }
+
+  void push(TimeNs t, double v);
+  /// Points currently held, oldest first.
+  std::vector<SeriesPoint> snapshot() const;
+
+  const char* kind() const { return kind_; }
+  std::size_t size() const { return ring_.size(); }
+  u64 recorded() const { return recorded_; }
+  u64 dropped() const { return recorded_ > cap_ ? recorded_ - cap_ : 0; }
+  /// Latest point (t=0/v=0 when empty) — what the flight recorder reports.
+  SeriesPoint last() const;
+
+ private:
+  const char* kind_ = "probe";
+  std::size_t cap_ = 1;
+  std::size_t head_ = 0;  // next write position once full
+  std::vector<SeriesPoint> ring_;
+  u64 recorded_ = 0;
+};
+
+struct SamplerConfig {
+  TimeNs interval = 100 * kMicrosecond;  // sampling cadence (virtual time)
+  std::size_t capacity = 4096;           // points retained per series
+};
+
+/// Disabled by default; owned by Registry and driven from its clock mirror.
+/// enable() resets all sources and series, so a sampler is configured
+/// enable-then-register, before the run whose trajectory it should see.
+class Sampler {
+ public:
+  void enable(SamplerConfig cfg = {});
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+  const SamplerConfig& config() const { return cfg_; }
+
+  /// Arbitrary rollup source; with rate=true a derived `<name>.rate` series
+  /// (units/s of virtual time) is emitted alongside the raw values.
+  void add_probe(const std::string& name, std::function<double()> fn,
+                 bool rate = false);
+  /// Registry counter by name (0 while the key is absent — lazily bound
+  /// keys simply read as zero until their first increment). Always derives
+  /// `<name>.rate` in events/s: for monotonic counters the rate IS the
+  /// interesting series.
+  void add_counter(const std::string& counter_name);
+  /// Registry gauge by name (0 while absent). No derived rate.
+  void add_gauge(const std::string& gauge_name);
+
+  /// Clock hook (Registry::advance_clock). Samples every interval boundary
+  /// in (last, t] — one point per boundary regardless of how the clock got
+  /// there, so idle deadline jumps and dense event bursts sample alike.
+  void on_advance(TimeNs t) {
+    while (next_due_ <= t) {
+      sample_at(next_due_);
+      next_due_ += cfg_.interval;
+    }
+  }
+
+  std::size_t samples() const { return samples_; }
+  const TimeSeries* find(const std::string& name) const;
+  std::vector<std::string> series_names() const;
+  const std::map<std::string, TimeSeries>& series() const { return series_; }
+
+  /// One run's fragment: {"interval_ns":..,"samples":..,"series":{..}}.
+  /// Deterministic: map-ordered keys, u64 timestamps, %.17g values.
+  std::string run_json() const;
+  /// Complete schema document with this sampler as the single run "run".
+  std::string to_json() const;
+  Status write_json_file(const std::string& path) const;
+
+ private:
+  friend class Registry;
+  void bind(const Registry* reg) { reg_ = reg; }
+  void sample_at(TimeNs boundary);
+
+  struct Source {
+    enum class Kind : u8 { kProbe, kCounter, kGauge };
+    Kind kind = Kind::kProbe;
+    std::string name;
+    std::function<double()> fn;  // kProbe only
+    bool rate = false;
+    double last = 0.0;
+    bool have_last = false;
+  };
+
+  bool enabled_ = false;
+  SamplerConfig cfg_;
+  const Registry* reg_ = nullptr;
+  TimeNs next_due_ = 0;
+  TimeNs last_boundary_ = 0;
+  std::size_t samples_ = 0;
+  std::vector<Source> sources_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+/// Assemble several run fragments (Sampler::run_json) into one schema
+/// document — how fig13 exports off/dcqcn/timely trajectories side by side.
+std::string timeseries_document(
+    const std::vector<std::pair<std::string, std::string>>& runs);
+
+/// Structural validation of a timeseries document: schema tag, runs map,
+/// per-run interval/samples/series shape, per-series kind + strictly
+/// increasing point timestamps.
+Status validate_timeseries_json(std::string_view json);
+
+}  // namespace dgiwarp::telemetry

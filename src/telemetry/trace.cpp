@@ -23,6 +23,7 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::kEcnMark: return "ecn_mark";
     case TraceKind::kCcCnp: return "cc_cnp";
     case TraceKind::kCcRateChange: return "cc_rate_change";
+    case TraceKind::kWatchdogTrip: return "watchdog_trip";
   }
   return "?";
 }

@@ -40,6 +40,7 @@ enum class TraceKind : u8 {
   kEcnMark,               // a = frame id, b = queue depth at marking
   kCcCnp,                 // a = flow key, b = rate before reaction (bps)
   kCcRateChange,          // a = flow key, b = new rate (bps)
+  kWatchdogTrip,          // a = WatchdogRule index, b = rule-specific value
 };
 
 /// Keep in sync with TraceKind: one past the last enumerator. This is a
@@ -48,7 +49,7 @@ enum class TraceKind : u8 {
 /// -Wswitch-clean; the exhaustiveness test in telemetry_test.cpp asserts
 /// that casting kTraceKindCount itself yields the "?" fallback, which
 /// forces this constant to track the enum.
-inline constexpr u8 kTraceKindCount = 19;
+inline constexpr u8 kTraceKindCount = 20;
 
 const char* trace_kind_name(TraceKind k);
 
